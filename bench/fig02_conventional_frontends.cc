@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 2: relative performance vs relative per-core area of the
+ * conventional instruction-supply mechanisms, normalized to a core with
+ * a 1K-entry BTB and no prefetching.
+ *
+ * Paper shape: FDP ~+5%; PhantomBTB+FDP ~+9%; 2LevelBTB+FDP in between;
+ * 2LevelBTB+SHIFT ~+22% at ~1.08x area; Ideal ~+35%.
+ */
+
+#include "fig_perf_common.hh"
+
+int
+main()
+{
+    cfl::bench::runPerfAreaFigure(
+        "Figure 2: conventional front-ends "
+        "(relative performance vs relative area)",
+        {
+            cfl::FrontendKind::Baseline,
+            cfl::FrontendKind::Fdp,
+            cfl::FrontendKind::PhantomFdp,
+            cfl::FrontendKind::TwoLevelFdp,
+            cfl::FrontendKind::TwoLevelShift,
+            cfl::FrontendKind::Ideal,
+        });
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 6: Figure 2's scatter plus Confluence.
+ *
+ * Paper shape: Confluence is the closest design point to Ideal —
+ * ~85% of the Ideal improvement at ~1% per-core area overhead, ahead of
+ * 2LevelBTB+SHIFT (62% of Ideal at ~8% area).
+ */
+
+#include "fig_perf_common.hh"
+#include "sim/metrics.hh"
+
+#include <cstdio>
+
+using namespace cfl;
+
+int
+main()
+{
+    cfl::bench::runPerfAreaFigure(
+        "Figure 6: Confluence vs conventional front-ends "
+        "(relative performance vs relative area)",
+        {
+            FrontendKind::Baseline,
+            FrontendKind::Fdp,
+            FrontendKind::PhantomFdp,
+            FrontendKind::TwoLevelFdp,
+            FrontendKind::TwoLevelShift,
+            FrontendKind::Confluence,
+            FrontendKind::Ideal,
+        });
+
+    // Headline: fraction of the Ideal improvement each design captures.
+    const RunScale scale = currentScale();
+    const SystemConfig config = makeSystemConfig(scale.timingCores);
+    const auto rows = runComparison({FrontendKind::TwoLevelShift,
+                                     FrontendKind::Confluence,
+                                     FrontendKind::Ideal},
+                                    allWorkloads(), config, scale);
+    const double ideal = rows[2].relPerfGeomean;
+    std::printf("\nfraction of Ideal improvement: "
+                "2LevelBTB+SHIFT %.0f%% (paper: 62%%), "
+                "Confluence %.0f%% (paper: 85%%)\n",
+                100.0 * fractionOfIdeal(rows[0].relPerfGeomean, ideal),
+                100.0 * fractionOfIdeal(rows[1].relPerfGeomean, ideal));
+    return 0;
+}

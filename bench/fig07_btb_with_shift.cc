@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 7: speedup of the BTB designs over the 1K-entry conventional
+ * baseline when every design uses SHIFT for instruction prefetching —
+ * isolating BTB fill timeliness from instruction prefetching.
+ *
+ * Paper shape per workload: PhantomBTB+SHIFT lowest; 2LevelBTB+SHIFT
+ * ~51% of the IdealBTB speedup (stalls on the 4-cycle second level);
+ * Confluence ~90% of IdealBTB+SHIFT.
+ */
+
+#include "common/report.hh"
+#include "sim/experiment.hh"
+
+using namespace cfl;
+
+int
+main()
+{
+    const RunScale scale = currentScale();
+    const SystemConfig config = makeSystemConfig(scale.timingCores);
+
+    const std::vector<FrontendKind> kinds = {
+        FrontendKind::PhantomShift,
+        FrontendKind::TwoLevelShift,
+        FrontendKind::Confluence,
+        FrontendKind::IdealBtbShift,
+    };
+
+    std::vector<std::string> columns = {"workload"};
+    for (const FrontendKind k : kinds)
+        columns.push_back(frontendKindName(k));
+    Report report(
+        "Figure 7: speedup over 1K-entry BTB, all designs with SHIFT",
+        std::move(columns));
+
+    for (const WorkloadId wl : allWorkloads()) {
+        const double base =
+            runTiming(FrontendKind::Baseline, wl, config, scale)
+                .metrics.meanIpc();
+        std::vector<std::string> row = {workloadName(wl)};
+        for (const FrontendKind k : kinds) {
+            const double ipc =
+                runTiming(k, wl, config, scale).metrics.meanIpc();
+            row.push_back(Report::ratio(ipc / base));
+        }
+        report.addRow(std::move(row));
+    }
+    report.print();
+    return 0;
+}

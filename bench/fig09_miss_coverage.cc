@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 9: fraction of 1K-conventional-BTB misses eliminated by
+ * PhantomBTB, AirBTB (within Confluence), and a 16K-entry conventional
+ * BTB.
+ *
+ * Paper shape: PhantomBTB ~61% on average, AirBTB ~93%, 16K BTB ~95%.
+ */
+
+#include "common/report.hh"
+#include "sim/experiment.hh"
+#include "sim/metrics.hh"
+
+using namespace cfl;
+
+int
+main()
+{
+    const RunScale scale = currentScale();
+    FunctionalConfig fc = functionalConfigFromScale(scale);
+    const SystemConfig config = makeSystemConfig(1);
+
+    Report report("Figure 9: BTB misses eliminated vs 1K conventional BTB",
+                  {"workload", "PhantomBTB", "AirBTB", "16K BTB"});
+
+    std::vector<double> phantom_cov, air_cov, big_cov;
+
+    for (const WorkloadId wl : allWorkloads()) {
+        const FunctionalResult base =
+            runConventionalBtbStudy(wl, 1024, 4, 64, true, fc);
+
+        // PhantomBTB: shared virtualized history, no inst prefetcher.
+        FunctionalSetup plain;
+        plain.useL1I = true;
+        plain.useShift = false;
+        auto phantom_history =
+            std::make_shared<PhantomSharedHistory>(config.phantom);
+        const auto phantom = runFunctionalStudy(
+            wl, plain, config, fc,
+            [&](const Program &, const Predecoder &) {
+                return std::make_unique<PhantomBtb>(config.phantom,
+                                                    phantom_history, 0);
+            });
+
+        // AirBTB inside Confluence (with SHIFT).
+        FunctionalSetup with_shift;
+        with_shift.useL1I = true;
+        with_shift.useShift = true;
+        const auto air = runFunctionalStudy(
+            wl, with_shift, config, fc,
+            [&](const Program &program, const Predecoder &pre) {
+                return std::make_unique<AirBtb>(AirBtbParams{},
+                                                program.image, pre);
+            });
+
+        const FunctionalResult big =
+            runConventionalBtbStudy(wl, 16 * 1024, 4, 0, true, fc);
+
+        const double pc = missCoverage(phantom.result.btbMisses,
+                                       base.btbMisses);
+        const double ac = missCoverage(air.result.btbMisses,
+                                       base.btbMisses);
+        const double bc = missCoverage(big.btbMisses, base.btbMisses);
+        phantom_cov.push_back(pc);
+        air_cov.push_back(ac);
+        big_cov.push_back(bc);
+        report.addRow({workloadName(wl), Report::pct(pc, 1),
+                       Report::pct(ac, 1), Report::pct(bc, 1)});
+    }
+    report.addRow({"average", Report::pct(mean(phantom_cov), 1),
+                   Report::pct(mean(air_cov), 1),
+                   Report::pct(mean(big_cov), 1)});
+    report.print();
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared harness for the performance/area scatter figures (2 and 6):
+ * runs a set of front-end designs over all workloads and prints
+ * (relative performance geomean, relative area) rows.
+ */
+
+#ifndef CFL_BENCH_FIG_PERF_COMMON_HH
+#define CFL_BENCH_FIG_PERF_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/report.hh"
+#include "sim/experiment.hh"
+#include "sim/metrics.hh"
+
+namespace cfl::bench
+{
+
+inline void
+runPerfAreaFigure(const std::string &title,
+                  const std::vector<FrontendKind> &kinds)
+{
+    const RunScale scale = currentScale();
+    const SystemConfig config = makeSystemConfig(scale.timingCores);
+
+    const auto rows =
+        runComparison(kinds, allWorkloads(), config, scale);
+
+    std::vector<std::string> columns = {"design", "rel. area",
+                                        "rel. perf (geomean)"};
+    for (const WorkloadId wl : allWorkloads())
+        columns.push_back(workloadSlug(wl));
+
+    Report report(title, std::move(columns));
+    for (const ComparisonRow &row : rows) {
+        std::vector<std::string> cells = {
+            frontendKindName(row.kind),
+            Report::ratio(row.relArea),
+            Report::ratio(row.relPerfGeomean),
+        };
+        for (const WorkloadId wl : allWorkloads())
+            cells.push_back(
+                Report::ratio(row.perWorkloadSpeedup.at(wl)));
+        report.addRow(std::move(cells));
+    }
+    report.print();
+}
+
+} // namespace cfl::bench
+
+#endif // CFL_BENCH_FIG_PERF_COMMON_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): throughput of the hot
+ * structures the simulator spends its time in — engine stepping, cache
+ * probes, BTB lookups, SHIFT replay, predecode.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "btb/air_btb.hh"
+#include "btb/conventional_btb.hh"
+#include "isa/predecoder.hh"
+#include "mem/cache.hh"
+#include "prefetch/shift.hh"
+#include "trace/engine.hh"
+#include "workloads/suite.hh"
+
+using namespace cfl;
+
+namespace
+{
+
+const Program &
+program()
+{
+    return workloadProgram(WorkloadId::DssQry);
+}
+
+} // namespace
+
+static void
+BM_EngineStep(benchmark::State &state)
+{
+    ExecEngine engine(program(), EngineParams{});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.next().pc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineStep);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache("bm", 32 * 1024, 4);
+    Rng rng(1);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(blockAlign(rng.next() % (1 << 20)));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const Addr a = addrs[i++ & 4095];
+        if (!cache.access(a))
+            cache.insert(a);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_ConventionalBtbLookup(benchmark::State &state)
+{
+    ConventionalBtb btb({1024, 4, 64});
+    ExecEngine engine(program(), EngineParams{});
+    std::vector<DynInst> branches;
+    while (branches.size() < 8192) {
+        const DynInst inst = engine.next();
+        if (inst.isBranch())
+            branches.push_back(inst);
+    }
+    std::size_t i = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        const DynInst &inst = branches[i++ & 8191];
+        const auto res = btb.lookup(inst, ++now);
+        if (!res.hit && inst.taken)
+            btb.learn(inst.pc, inst.kind, inst.target, now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConventionalBtbLookup);
+
+static void
+BM_AirBtbLookup(benchmark::State &state)
+{
+    Predecoder pre;
+    AirBtbParams params;
+    params.syncWithL1I = false;
+    AirBtb btb(params, program().image, pre);
+    ExecEngine engine(program(), EngineParams{});
+    std::vector<DynInst> branches;
+    while (branches.size() < 8192) {
+        const DynInst inst = engine.next();
+        if (inst.isBranch())
+            branches.push_back(inst);
+    }
+    std::size_t i = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        const DynInst &inst = branches[i++ & 8191];
+        const auto res = btb.lookup(inst, ++now);
+        if (!res.hit && inst.taken)
+            btb.learn(inst.pc, inst.kind, inst.target, now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AirBtbLookup);
+
+static void
+BM_Predecode(benchmark::State &state)
+{
+    Predecoder pre;
+    const CodeImage &image = program().image;
+    const std::size_t blocks = image.numBlocks() - 1;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const Addr block = image.base() + (i++ % blocks) * kBlockBytes;
+        benchmark::DoNotOptimize(pre.scan(image, block).branchBitmap);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Predecode);
+
+static void
+BM_ShiftRecordReplay(benchmark::State &state)
+{
+    LlcParams llc_params;
+    Llc llc(llc_params);
+    InstMemory mem(InstMemoryParams{}, llc);
+    ShiftParams params;
+    ShiftHistory history(params);
+    ShiftEngine shift(params, history, mem, true);
+    Rng rng(3);
+    std::vector<Addr> stream;
+    for (int i = 0; i < 4096; ++i)
+        stream.push_back(blockAlign(0x100000 + (rng.next() % 4096) * 64));
+    std::size_t i = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        shift.onDemandAccess(stream[i++ & 4095], ++now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShiftRecordReplay);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 2: branch density in instruction blocks — the average number of
+ * static branch instructions per demand-fetched 64B block, and the
+ * number of distinct branches actually executed-and-taken during each
+ * block's L1-I residency (dynamic).
+ *
+ * Paper values: static 3.6 / 2.5 / 3.4 / 3.5 / 4.3 and dynamic
+ * 1.4 / 1.6 / 1.4 / 1.5 / 1.5 for DB2 / Oracle / DSS / Media / Web.
+ */
+
+#include "common/report.hh"
+#include "sim/experiment.hh"
+
+using namespace cfl;
+
+int
+main()
+{
+    const RunScale scale = currentScale();
+    FunctionalConfig fc = functionalConfigFromScale(scale);
+
+    Report report("Table 2: branch density in demand-fetched blocks",
+                  {"workload", "static (paper)", "static (measured)",
+                   "dynamic (paper)", "dynamic (measured)"});
+
+    const char *paper_static[] = {"3.6", "2.5", "3.4", "3.5", "4.3"};
+    const char *paper_dynamic[] = {"1.4", "1.6", "1.4", "1.5", "1.5"};
+
+    unsigned i = 0;
+    for (const WorkloadId wl : allWorkloads()) {
+        const FunctionalResult r =
+            runConventionalBtbStudy(wl, 1024, 4, 64, /*with_l1i=*/true,
+                                    fc);
+        report.addRow({workloadName(wl), paper_static[i],
+                       Report::num(r.staticDensity(), 1),
+                       paper_dynamic[i],
+                       Report::num(r.dynamicDensity(), 1)});
+        ++i;
+    }
+    report.print();
+    return 0;
+}

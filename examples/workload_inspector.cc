@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Workload & front-end inspector: prints the static properties of a
+ * synthetic workload and a detailed stat dump of one timing run.
+ *
+ * Usage: workload_inspector [workload-slug] [frontend]
+ *   frontend: baseline fdp phantom-fdp 2level-fdp phantom-shift
+ *             2level-shift idealbtb-shift confluence ideal
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "sim/experiment.hh"
+
+using namespace cfl;
+
+namespace
+{
+
+const std::map<std::string, FrontendKind> kKinds = {
+    {"baseline", FrontendKind::Baseline},
+    {"fdp", FrontendKind::Fdp},
+    {"phantom-fdp", FrontendKind::PhantomFdp},
+    {"2level-fdp", FrontendKind::TwoLevelFdp},
+    {"phantom-shift", FrontendKind::PhantomShift},
+    {"2level-shift", FrontendKind::TwoLevelShift},
+    {"idealbtb-shift", FrontendKind::IdealBtbShift},
+    {"confluence", FrontendKind::Confluence},
+    {"ideal", FrontendKind::Ideal},
+};
+
+void
+dumpStats(const char *title, const StatSet &stats)
+{
+    std::printf("  [%s]\n", title);
+    for (const auto &[name, value] : stats.dump()) {
+        std::printf("    %-32s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    WorkloadId workload = WorkloadId::OltpDb2;
+    FrontendKind kind = FrontendKind::Baseline;
+
+    if (argc > 1) {
+        for (const WorkloadId id : allWorkloads())
+            if (workloadSlug(id) == argv[1])
+                workload = id;
+    }
+    if (argc > 2) {
+        const auto it = kKinds.find(argv[2]);
+        if (it == kKinds.end()) {
+            std::fprintf(stderr, "unknown frontend '%s'\n", argv[2]);
+            return 1;
+        }
+        kind = it->second;
+    }
+
+    const Program &program = workloadProgram(workload);
+    std::printf("workload %s: image %.1fKB, %zu blocks, %zu functions, "
+                "%zu static branches, density %.2f/block, "
+                "%u request types\n",
+                workloadName(workload).c_str(),
+                program.image.sizeBytes() / 1024.0,
+                program.image.numBlocks(), program.functions.size(),
+                program.numStaticBranches(),
+                program.staticBranchDensity(), program.numRequestTypes);
+
+    const RunScale scale = currentScale();
+    const SystemConfig cfg = makeSystemConfig(scale.timingCores);
+    Cmp cmp(kind, workload, cfg);
+    const CmpMetrics metrics =
+        cmp.run(scale.timingWarmupInsts, scale.timingMeasureInsts);
+
+    std::printf("\n%s on %s: IPC %.3f, BTB MPKI %.1f, L1-I MPKI %.1f\n\n",
+                frontendKindName(kind).c_str(),
+                workloadName(workload).c_str(), metrics.meanIpc(),
+                metrics.meanBtbMpki(), metrics.meanL1iMpki());
+
+    CoreSim &core = cmp.core(0);
+    dumpStats("bpu", core.bpu().stats());
+    dumpStats("frontend", core.frontend().stats());
+    dumpStats("btb", core.btb().stats());
+    dumpStats("instmem", core.mem().stats());
+    if (core.prefetcher() != nullptr)
+        dumpStats("prefetcher", core.prefetcher()->stats());
+    return 0;
+}

@@ -1,0 +1,85 @@
+#include "area/area_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace cfl
+{
+
+double
+AreaModel::mm2ForKb(double kilo_bytes)
+{
+    if (kilo_bytes <= 0.0)
+        return 0.0;
+    // Density (mm²/KB) falls with capacity: fit through the paper's
+    // (9.9KB, 0.08mm²) and (140KB, 0.6mm²) CACTI points, linear in
+    // log2(KB), clamped to plausible SRAM densities at 40nm.
+    const double lg = std::log2(kilo_bytes);
+    const double density = std::clamp(0.011365 - 0.000993 * lg,
+                                      0.0030, 0.0140);
+    return kilo_bytes * density;
+}
+
+double
+AreaModel::conventionalBtbEntryBits(std::size_t entries, unsigned ways)
+{
+    cfl_assert(entries % ways == 0, "entries must divide by ways");
+    const std::size_t sets = entries / ways;
+    // 48-bit VA, 4B instructions, set index bits removed from the tag.
+    const double tag_bits =
+        kVirtualAddrBits - 2.0 - static_cast<double>(floorLog2(sets));
+    const double target_bits = 30.0;  // longest displacement field
+    const double type_bits = 2.0;
+    const double fallthrough_bits = 4.0;  // covers 99% of basic blocks
+    const double valid_bit = 1.0;
+    return tag_bits + target_bits + type_bits + fallthrough_bits +
+           valid_bit;
+}
+
+double
+AreaModel::conventionalBtbKb(std::size_t entries, unsigned ways,
+                             unsigned victim_entries)
+{
+    const double main_bits =
+        static_cast<double>(entries) *
+        conventionalBtbEntryBits(entries, ways);
+    // Victim buffer entries are fully associative: full tags.
+    const double victim_entry_bits =
+        (kVirtualAddrBits - 2.0) + 30.0 + 2.0 + 4.0 + 1.0;
+    const double victim_bits = victim_entries * victim_entry_bits;
+    return (main_bits + victim_bits) / 8.0 / 1024.0;
+}
+
+double
+AreaModel::airBtbKb(std::size_t bundles, unsigned ways,
+                    unsigned branch_entries, unsigned overflow_entries)
+{
+    cfl_assert(bundles % ways == 0, "bundles must divide by ways");
+    const std::size_t sets = bundles / ways;
+    // Bundle tag: block address minus block-offset and set-index bits.
+    const double tag_bits = kVirtualAddrBits - 6.0 -
+                            static_cast<double>(floorLog2(sets));
+    const double bitmap_bits = 16.0;
+    const double entry_bits = 4.0 + 2.0 + 30.0;  // offset + type + target
+    const double bundle_bits = tag_bits + bitmap_bits + 1.0 +
+                               branch_entries * entry_bits;
+    // Overflow entries carry full branch-PC tags.
+    const double overflow_entry_bits =
+        (kVirtualAddrBits - 2.0) + 2.0 + 30.0 + 1.0;
+    const double total_bits = bundles * bundle_bits +
+                              overflow_entries * overflow_entry_bits;
+    return total_bits / 8.0 / 1024.0;
+}
+
+double
+AreaModel::shiftPerCoreMm2(unsigned num_cores)
+{
+    cfl_assert(num_cores > 0, "need >= 1 core");
+    return kShiftIndexMm2 / num_cores;
+}
+
+} // namespace cfl

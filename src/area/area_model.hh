@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analytic storage/area model standing in for CACTI 6.5 @ 40nm
+ * (Section 4.2).
+ *
+ * Figures 2 and 6 plot *relative* per-core area: (core + front-end
+ * overhead) / (core + baseline BTB), with the ARM Cortex-A72-like core at
+ * 7.2mm². The KB->mm² curve is calibrated to the paper's own published
+ * CACTI points:
+ *
+ *     9.9KB  (1K-entry BTB + victim buffer) -> 0.08 mm²
+ *     140KB  (16K-entry second-level BTB)   -> 0.6  mm²
+ *     AirBTB 10.2KB                         -> 0.08 mm²
+ *     SHIFT index in LLC tags               -> 0.96 mm² / 16 cores
+ *
+ * Virtualized structures (SHIFT history, PhantomBTB groups) consume LLC
+ * capacity, not dedicated area, and are reported as such.
+ */
+
+#ifndef CFL_AREA_AREA_MODEL_HH
+#define CFL_AREA_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+namespace cfl
+{
+
+/** One storage structure's cost. */
+struct StructureArea
+{
+    std::string name;
+    double kiloBytes = 0.0;   ///< dedicated SRAM storage
+    double mm2 = 0.0;         ///< dedicated area
+    double llcKiloBytes = 0.0; ///< LLC capacity consumed (virtualized)
+};
+
+/** Area model with the paper's calibration. */
+class AreaModel
+{
+  public:
+    /** Cortex-A72-like core area at 40nm (Section 2.3). */
+    static constexpr double kCoreAreaMm2 = 7.2;
+
+    /** SHIFT's per-CMP index-table area (LLC tag extension), mm². */
+    static constexpr double kShiftIndexMm2 = 0.96;
+
+    /** Convert a dedicated SRAM capacity to mm² (calibrated). */
+    static double mm2ForKb(double kilo_bytes);
+
+    /** Bits of one conventional basic-block BTB entry (Section 4.2.2):
+     *  tag + 30-bit target + 2-bit type + 4-bit fall-through + valid. */
+    static double conventionalBtbEntryBits(std::size_t entries,
+                                           unsigned ways);
+
+    /** Dedicated storage of a conventional BTB (+ victim buffer), KB. */
+    static double conventionalBtbKb(std::size_t entries, unsigned ways,
+                                    unsigned victim_entries);
+
+    /** Dedicated storage of AirBTB, KB (Section 4.2.2: 10.2KB). */
+    static double airBtbKb(std::size_t bundles, unsigned ways,
+                           unsigned branch_entries,
+                           unsigned overflow_entries);
+
+    /** Per-core dedicated area of SHIFT (index tag extension). */
+    static double shiftPerCoreMm2(unsigned num_cores);
+};
+
+} // namespace cfl
+
+#endif // CFL_AREA_AREA_MODEL_HH

@@ -1,0 +1,99 @@
+#include "branch/direction.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+BimodalPredictor::BimodalPredictor(std::size_t entries)
+    : table_(entries)
+{
+    cfl_assert(isPowerOfTwo(entries), "bimodal entries must be 2^n");
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc / kInstBytes) & (table_.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(Addr pc)
+{
+    stats_.scalar("lookups").inc();
+    return table_[index(pc)].taken();
+}
+
+void
+BimodalPredictor::update(Addr pc, bool outcome)
+{
+    table_[index(pc)].update(outcome);
+}
+
+GsharePredictor::GsharePredictor(std::size_t entries, unsigned history_bits)
+    : table_(entries), historyBits_(history_bits)
+{
+    cfl_assert(isPowerOfTwo(entries), "gshare entries must be 2^n");
+    cfl_assert(history_bits <= 32, "history too long");
+}
+
+std::size_t
+GsharePredictor::index(Addr pc) const
+{
+    const std::uint64_t h = history_ & mask(historyBits_);
+    return ((pc / kInstBytes) ^ h) & (table_.size() - 1);
+}
+
+bool
+GsharePredictor::predict(Addr pc)
+{
+    stats_.scalar("lookups").inc();
+    return table_[index(pc)].taken();
+}
+
+void
+GsharePredictor::update(Addr pc, bool outcome)
+{
+    table_[index(pc)].update(outcome);
+    history_ = (history_ << 1) | (outcome ? 1 : 0);
+}
+
+HybridPredictor::HybridPredictor(std::size_t gshare_entries,
+                                 std::size_t bimodal_entries,
+                                 std::size_t meta_entries,
+                                 unsigned history_bits)
+    : gshare_(gshare_entries, history_bits),
+      bimodal_(bimodal_entries),
+      meta_(meta_entries, SatCounter2(2))  // slight initial gshare lean
+{
+    cfl_assert(isPowerOfTwo(meta_entries), "meta entries must be 2^n");
+}
+
+std::size_t
+HybridPredictor::metaIndex(Addr pc) const
+{
+    return (pc / kInstBytes) & (meta_.size() - 1);
+}
+
+bool
+HybridPredictor::predict(Addr pc)
+{
+    stats_.scalar("lookups").inc();
+    lastGshare_ = gshare_.predict(pc);
+    lastBimodal_ = bimodal_.predict(pc);
+    const bool use_gshare = meta_[metaIndex(pc)].taken();
+    return use_gshare ? lastGshare_ : lastBimodal_;
+}
+
+void
+HybridPredictor::update(Addr pc, bool outcome)
+{
+    // Meta trains toward the component that was right when they disagree.
+    if (lastGshare_ != lastBimodal_)
+        meta_[metaIndex(pc)].update(lastGshare_ == outcome);
+    gshare_.update(pc, outcome);
+    bimodal_.update(pc, outcome);
+}
+
+} // namespace cfl

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Branch direction predictors (Table 1: hybrid of a 16K-entry gshare and
+ * a bimodal table with a meta selector).
+ *
+ * The direction predictor is identical in every front-end configuration
+ * the paper compares; it exists so that misprediction bubbles and the
+ * interplay with BTB-provided fetch regions are modeled, not to study
+ * direction prediction itself.
+ */
+
+#ifndef CFL_BRANCH_DIRECTION_HH
+#define CFL_BRANCH_DIRECTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cfl
+{
+
+/** Two-bit saturating counter. */
+class SatCounter2
+{
+  public:
+    explicit SatCounter2(std::uint8_t initial = 1) : value_(initial) {}
+
+    bool taken() const { return value_ >= 2; }
+
+    void update(bool outcome)
+    {
+        if (outcome && value_ < 3)
+            ++value_;
+        else if (!outcome && value_ > 0)
+            --value_;
+    }
+
+    std::uint8_t raw() const { return value_; }
+
+  private:
+    std::uint8_t value_;
+};
+
+/** Interface of a direction predictor. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Train with the actual outcome (call after predict). */
+    virtual void update(Addr pc, bool outcome) = 0;
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  protected:
+    StatSet stats_{"direction"};
+};
+
+/** PC-indexed table of 2-bit counters. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(std::size_t entries = 16 * 1024);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool outcome) override;
+
+  private:
+    std::size_t index(Addr pc) const;
+    std::vector<SatCounter2> table_;
+};
+
+/** Global-history-xor-PC indexed predictor. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(std::size_t entries = 16 * 1024,
+                             unsigned history_bits = 12);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool outcome) override;
+
+  private:
+    std::size_t index(Addr pc) const;
+    std::vector<SatCounter2> table_;
+    unsigned historyBits_;
+    std::uint64_t history_ = 0;
+};
+
+/**
+ * Hybrid predictor: gshare + bimodal with a meta (chooser) table that
+ * learns which component to trust per branch (Table 1).
+ */
+class HybridPredictor : public DirectionPredictor
+{
+  public:
+    HybridPredictor(std::size_t gshare_entries = 16 * 1024,
+                    std::size_t bimodal_entries = 16 * 1024,
+                    std::size_t meta_entries = 16 * 1024,
+                    unsigned history_bits = 12);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool outcome) override;
+
+  private:
+    std::size_t metaIndex(Addr pc) const;
+
+    GsharePredictor gshare_;
+    BimodalPredictor bimodal_;
+    std::vector<SatCounter2> meta_;
+
+    // Remembered between predict() and update() for meta training.
+    bool lastGshare_ = false;
+    bool lastBimodal_ = false;
+};
+
+} // namespace cfl
+
+#endif // CFL_BRANCH_DIRECTION_HH

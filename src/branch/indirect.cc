@@ -1,0 +1,47 @@
+#include "branch/indirect.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cfl
+{
+
+IndirectTargetCache::IndirectTargetCache(std::size_t entries,
+                                         unsigned history_bits)
+    : table_(entries), historyBits_(history_bits)
+{
+    cfl_assert(isPowerOfTwo(entries), "ITC entries must be 2^n");
+}
+
+std::size_t
+IndirectTargetCache::index(Addr pc) const
+{
+    const std::uint64_t h = history_ & mask(historyBits_);
+    return ((pc / kInstBytes) ^ h) & (table_.size() - 1);
+}
+
+Addr
+IndirectTargetCache::predict(Addr pc)
+{
+    stats_.scalar("lookups").inc();
+    const Entry &e = table_[index(pc)];
+    if (e.valid && e.tag == pc) {
+        stats_.scalar("tagHits").inc();
+        return e.target;
+    }
+    return 0;
+}
+
+void
+IndirectTargetCache::update(Addr pc, Addr target)
+{
+    Entry &e = table_[index(pc)];
+    e.tag = pc;
+    e.target = target;
+    e.valid = true;
+    // Path history: fold a few target bits in, as real ITCs do.
+    history_ = ((history_ << 2) ^ (target >> 4)) & mask(historyBits_);
+}
+
+} // namespace cfl

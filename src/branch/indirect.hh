@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Indirect target cache (Table 1: 1K entries): last-target prediction for
+ * indirect jumps/calls, indexed by branch PC hashed with a short path
+ * history to separate per-request-type targets.
+ */
+
+#ifndef CFL_BRANCH_INDIRECT_HH
+#define CFL_BRANCH_INDIRECT_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cfl
+{
+
+/** Indirect target cache. */
+class IndirectTargetCache
+{
+  public:
+    /** @param entries table size (power of two)
+     *  @param history_bits bits of target-history mixed into the index */
+    explicit IndirectTargetCache(std::size_t entries = 1024,
+                                 unsigned history_bits = 6);
+
+    /** Predict the target of the indirect branch at @p pc; 0 if unknown. */
+    Addr predict(Addr pc);
+
+    /** Train with the actual target (also advances the path history). */
+    void update(Addr pc, Addr target);
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+
+    std::size_t index(Addr pc) const;
+
+    std::vector<Entry> table_;
+    unsigned historyBits_;
+    std::uint64_t history_ = 0;
+    StatSet stats_{"itc"};
+};
+
+} // namespace cfl
+
+#endif // CFL_BRANCH_INDIRECT_HH

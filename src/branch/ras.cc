@@ -1,0 +1,48 @@
+#include "branch/ras.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+ReturnAddressStack::ReturnAddressStack(unsigned entries)
+    : stack_(entries, 0)
+{
+    cfl_assert(entries > 0, "RAS needs >= 1 entry");
+}
+
+void
+ReturnAddressStack::push(Addr return_addr)
+{
+    stats_.scalar("pushes").inc();
+    stack_[topIndex_] = return_addr;
+    topIndex_ = (topIndex_ + 1) % stack_.size();
+    if (depth_ < stack_.size()) {
+        ++depth_;
+    } else {
+        stats_.scalar("overflows").inc();
+    }
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    stats_.scalar("pops").inc();
+    if (depth_ == 0) {
+        stats_.scalar("underflows").inc();
+        return 0;
+    }
+    topIndex_ = (topIndex_ + stack_.size() - 1) % stack_.size();
+    --depth_;
+    return stack_[topIndex_];
+}
+
+Addr
+ReturnAddressStack::top() const
+{
+    if (depth_ == 0)
+        return 0;
+    return stack_[(topIndex_ + stack_.size() - 1) % stack_.size()];
+}
+
+} // namespace cfl

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Return address stack (Table 1: 64 entries). Predicts return targets;
+ * overflows wrap (oldest entry lost), underflows mispredict.
+ */
+
+#ifndef CFL_BRANCH_RAS_HH
+#define CFL_BRANCH_RAS_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cfl
+{
+
+/** Circular return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned entries = 64);
+
+    /** Push a return address (on predicted calls). */
+    void push(Addr return_addr);
+
+    /** Pop and return the predicted return target; 0 when empty. */
+    Addr pop();
+
+    /** Peek at the top without popping; 0 when empty. */
+    Addr top() const;
+
+    bool empty() const { return depth_ == 0; }
+    unsigned depth() const { return depth_; }
+
+    StatSet &stats() { return stats_; }
+
+  private:
+    std::vector<Addr> stack_;
+    unsigned topIndex_ = 0;  ///< next push position
+    unsigned depth_ = 0;
+    StatSet stats_{"ras"};
+};
+
+} // namespace cfl
+
+#endif // CFL_BRANCH_RAS_HH

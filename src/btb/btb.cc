@@ -1,0 +1,8 @@
+#include "btb/btb.hh"
+
+// The Btb interface is header-only; this translation unit anchors the
+// vtable so the library has a home for the type.
+
+namespace cfl
+{
+} // namespace cfl

@@ -1,0 +1,81 @@
+#include "btb/conventional_btb.hh"
+
+namespace cfl
+{
+
+namespace
+{
+
+std::size_t
+mainSets(const ConventionalBtbParams &p)
+{
+    cfl_assert(p.entries % p.ways == 0, "BTB entries must divide by ways");
+    const std::size_t sets = p.entries / p.ways;
+    cfl_assert(isPowerOfTwo(sets), "BTB sets must be a power of two");
+    return sets;
+}
+
+} // namespace
+
+ConventionalBtb::ConventionalBtb(const ConventionalBtbParams &params,
+                                 std::string name)
+    : Btb(std::move(name)),
+      params_(params),
+      // Keys are branch PCs; skip the 2 byte-offset bits when indexing.
+      main_(mainSets(params), params.ways, 2)
+{
+    if (params.victimEntries > 0) {
+        victim_ = std::make_unique<AssocCache<BtbEntryData>>(
+            1, params.victimEntries, 0);
+    }
+}
+
+BtbLookupResult
+ConventionalBtb::lookup(const DynInst &inst, Cycle now)
+{
+    (void)now;
+    BtbLookupResult out;
+    stats_.scalar("lookups").inc();
+
+    if (const BtbEntryData *e = main_.find(inst.pc)) {
+        out.hit = true;
+        out.entry = *e;
+        stats_.scalar("mainHits").inc();
+        return out;
+    }
+
+    if (victim_ != nullptr) {
+        if (auto victim_entry = victim_->invalidate(inst.pc)) {
+            // Victim hit: swap back into the main table.
+            stats_.scalar("victimHits").inc();
+            out.hit = true;
+            out.entry = *victim_entry;
+            if (auto evicted = main_.insert(inst.pc, *victim_entry))
+                victim_->insert(evicted->first, evicted->second);
+            return out;
+        }
+    }
+
+    stats_.scalar("lookupMisses").inc();
+    return out;
+}
+
+void
+ConventionalBtb::learn(Addr pc, BranchKind kind, Addr target, Cycle now)
+{
+    (void)now;
+    stats_.scalar("inserts").inc();
+    const BtbEntryData data{kind, target};
+    if (auto evicted = main_.insert(pc, data)) {
+        if (victim_ != nullptr)
+            victim_->insert(evicted->first, evicted->second);
+    }
+}
+
+std::size_t
+ConventionalBtb::size() const
+{
+    return main_.size() + (victim_ != nullptr ? victim_->size() : 0);
+}
+
+} // namespace cfl

@@ -1,0 +1,7 @@
+#include "btb/ideal_btb.hh"
+
+// PerfectBtb is header-only; this translation unit anchors its vtable.
+
+namespace cfl
+{
+} // namespace cfl

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * PerfectBtb: the BTB half of the paper's "Ideal" configuration — every
+ * lookup hits in a single cycle with the correct branch kind and (direct)
+ * target. It reads the oracle DynInst, which concrete designs must not.
+ */
+
+#ifndef CFL_BTB_IDEAL_BTB_HH
+#define CFL_BTB_IDEAL_BTB_HH
+
+#include "btb/btb.hh"
+
+namespace cfl
+{
+
+/** Always-hit oracle-backed BTB (upper bound). */
+class PerfectBtb : public Btb
+{
+  public:
+    PerfectBtb() : Btb("btb.perfect") {}
+
+    BtbLookupResult
+    lookup(const DynInst &inst, Cycle now) override
+    {
+        (void)now;
+        stats_.scalar("lookups").inc();
+        BtbLookupResult out;
+        out.hit = true;
+        out.entry.kind = inst.kind;
+        out.entry.target =
+            hasDirectTarget(inst.kind) ? inst.target : 0;
+        return out;
+    }
+
+    void
+    learn(Addr pc, BranchKind kind, Addr target, Cycle now) override
+    {
+        (void)pc;
+        (void)kind;
+        (void)target;
+        (void)now;
+    }
+};
+
+} // namespace cfl
+
+#endif // CFL_BTB_IDEAL_BTB_HH

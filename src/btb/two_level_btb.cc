@@ -1,0 +1,68 @@
+#include "btb/two_level_btb.hh"
+
+namespace cfl
+{
+
+namespace
+{
+
+std::size_t
+sets(std::size_t entries, unsigned ways)
+{
+    cfl_assert(entries % ways == 0, "BTB entries must divide by ways");
+    const std::size_t s = entries / ways;
+    cfl_assert(isPowerOfTwo(s), "BTB sets must be a power of two");
+    return s;
+}
+
+} // namespace
+
+TwoLevelBtb::TwoLevelBtb(const TwoLevelBtbParams &params, std::string name)
+    : Btb(std::move(name)),
+      params_(params),
+      l1_(sets(params.l1Entries, params.l1Ways), params.l1Ways, 2),
+      l2_(sets(params.l2Entries, params.l2Ways), params.l2Ways, 2)
+{
+}
+
+BtbLookupResult
+TwoLevelBtb::lookup(const DynInst &inst, Cycle now)
+{
+    (void)now;
+    BtbLookupResult out;
+    stats_.scalar("lookups").inc();
+
+    if (const BtbEntryData *e = l1_.find(inst.pc)) {
+        out.hit = true;
+        out.entry = *e;
+        stats_.scalar("l1Hits").inc();
+        return out;
+    }
+    stats_.scalar("l1Misses").inc();
+
+    if (const BtbEntryData *e = l2_.find(inst.pc)) {
+        // Second level supplies the prediction after its access latency;
+        // the entry is promoted into the first level.
+        stats_.scalar("l2Hits").inc();
+        out.hit = true;
+        out.entry = *e;
+        out.stallCycles = params_.l2Latency;
+        l1_.insert(inst.pc, *e);
+        return out;
+    }
+
+    stats_.scalar("lookupMisses").inc();
+    return out;
+}
+
+void
+TwoLevelBtb::learn(Addr pc, BranchKind kind, Addr target, Cycle now)
+{
+    (void)now;
+    stats_.scalar("inserts").inc();
+    const BtbEntryData data{kind, target};
+    l1_.insert(pc, data);
+    l2_.insert(pc, data);
+}
+
+} // namespace cfl

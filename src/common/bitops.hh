@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the cache/BTB indexing logic.
+ */
+
+#ifndef CFL_COMMON_BITOPS_HH
+#define CFL_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace cfl
+{
+
+/** True if @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceil of log2(v); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Extract bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    return (v >> lo) & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+}
+
+/** A mask with the low @p width bits set. */
+constexpr std::uint64_t
+mask(unsigned width)
+{
+    return (width >= 64) ? ~0ull : ((1ull << width) - 1);
+}
+
+/** Sign-extend the low @p width bits of @p v to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t v, unsigned width)
+{
+    const unsigned shift = 64 - width;
+    return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+} // namespace cfl
+
+#endif // CFL_COMMON_BITOPS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (a simulator bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; exits cleanly.
+ * warn()   — something suspicious but survivable happened.
+ */
+
+#ifndef CFL_COMMON_LOGGING_HH
+#define CFL_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cfl
+{
+
+/** Print a formatted message and abort; use for internal invariants. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Print a formatted message and exit(1); use for bad user configuration. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail
+{
+
+/** Minimal printf-style formatter into std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace cfl
+
+#define cfl_panic(...) \
+    ::cfl::panicImpl(__FILE__, __LINE__, ::cfl::detail::formatString(__VA_ARGS__))
+
+#define cfl_fatal(...) \
+    ::cfl::fatalImpl(__FILE__, __LINE__, ::cfl::detail::formatString(__VA_ARGS__))
+
+#define cfl_warn(...) \
+    ::cfl::warnImpl(__FILE__, __LINE__, ::cfl::detail::formatString(__VA_ARGS__))
+
+/** Assert-like invariant check that survives NDEBUG builds. */
+#define cfl_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::cfl::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: " #cond " — ") + \
+                ::cfl::detail::formatString(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // CFL_COMMON_LOGGING_HH

@@ -1,0 +1,89 @@
+#include "common/report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+Report::Report(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+    cfl_assert(!columns_.empty(), "report needs at least one column");
+}
+
+void
+Report::addRow(std::vector<std::string> cells)
+{
+    cfl_assert(cells.size() == columns_.size(),
+               "row has %zu cells, table has %zu columns",
+               cells.size(), columns_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Report::render() const
+{
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    out << "== " << title_ << " ==\n";
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            out << cells[c]
+                << std::string(widths[c] - cells[c].size(), ' ');
+            out << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+
+    emit_row(columns_);
+    size_t total = 0;
+    for (const size_t w : widths)
+        total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+void
+Report::print() const
+{
+    const std::string text = render();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+Report::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Report::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Report::ratio(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+} // namespace cfl

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII table/report printer used by the benchmark harnesses to emit
+ * paper-style rows (one table or figure series per bench binary).
+ */
+
+#ifndef CFL_COMMON_REPORT_HH
+#define CFL_COMMON_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace cfl
+{
+
+/** A simple fixed-column ASCII table builder. */
+class Report
+{
+  public:
+    /** @param title printed above the table
+     *  @param columns column headers */
+    Report(std::string title, std::vector<std::string> columns);
+
+    /** Append a row; must have exactly as many cells as columns. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with @p precision fraction digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a percentage ("93.1%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Format a speedup/ratio ("1.30x"). */
+    static std::string ratio(double v, int precision = 3);
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cfl
+
+#endif // CFL_COMMON_REPORT_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, ratios, and
+ * histograms grouped into StatSet objects that components expose.
+ *
+ * Components register their stats in a StatSet; the experiment harness
+ * pulls values by name to compute derived metrics (MPKI, coverage, IPC).
+ */
+
+#ifndef CFL_COMMON_STATS_HH
+#define CFL_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cfl
+{
+
+/** A named monotonically-increasing scalar statistic. */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    void inc(Counter delta = 1) { value_ += delta; }
+    void set(Counter v) { value_ = v; }
+    void reset() { value_ = 0; }
+    Counter value() const { return value_; }
+
+  private:
+    Counter value_ = 0;
+};
+
+/** A bounded histogram with fixed-width buckets plus an overflow bucket. */
+class Histogram
+{
+  public:
+    /** @param num_buckets number of regular buckets
+     *  @param bucket_width value-range width of each bucket */
+    Histogram(unsigned num_buckets = 16, std::uint64_t bucket_width = 1);
+
+    void sample(std::uint64_t value, Counter count = 1);
+    void reset();
+
+    Counter totalSamples() const { return samples_; }
+    double mean() const;
+    Counter bucketCount(unsigned bucket) const;
+    Counter overflowCount() const { return overflow_; }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+    /** Fraction of samples whose value is <= @p value. */
+    double cumulativeFractionAtOrBelow(std::uint64_t value) const;
+
+  private:
+    std::vector<Counter> buckets_;
+    std::uint64_t bucketWidth_;
+    Counter overflow_ = 0;
+    Counter samples_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * A registry of named statistics owned by one component.
+ *
+ * Names are hierarchical by convention ("btb.misses", "l1i.demandHits").
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string component_name = "");
+
+    /** Create-or-get a scalar by name. */
+    Stat &scalar(const std::string &name);
+
+    /** Read a scalar by name; returns 0 for unknown names. */
+    Counter get(const std::string &name) const;
+
+    /** True if the named scalar has been registered. */
+    bool has(const std::string &name) const;
+
+    /** Ratio of two registered scalars; returns 0 when denominator is 0. */
+    double ratio(const std::string &num, const std::string &den) const;
+
+    /** All (name, value) pairs sorted by name. */
+    std::vector<std::pair<std::string, Counter>> dump() const;
+
+    /** Reset every registered scalar to zero. */
+    void resetAll();
+
+    const std::string &name() const { return componentName_; }
+
+  private:
+    std::string componentName_;
+    std::map<std::string, Stat> scalars_;
+};
+
+} // namespace cfl
+
+#endif // CFL_COMMON_STATS_HH

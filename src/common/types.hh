@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every subsystem.
+ *
+ * The simulator models a 48-bit virtual address space (Section 4.2 of the
+ * paper) with 4-byte fixed-width instructions and 64-byte cache blocks.
+ */
+
+#ifndef CFL_COMMON_TYPES_HH
+#define CFL_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace cfl
+{
+
+/** Virtual address (48 bits used out of 64). */
+using Addr = std::uint64_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Counter type for statistics. */
+using Counter = std::uint64_t;
+
+/** Instruction-size and block-size constants (Table 1). */
+constexpr unsigned kInstBytes = 4;
+constexpr unsigned kBlockBytes = 64;
+constexpr unsigned kInstsPerBlock = kBlockBytes / kInstBytes;
+constexpr unsigned kVirtualAddrBits = 48;
+
+/** Mask an address down to its containing 64B block address. */
+constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kBlockBytes - 1);
+}
+
+/** Byte offset of an address within its 64B block. */
+constexpr unsigned
+blockOffset(Addr addr)
+{
+    return static_cast<unsigned>(addr & (kBlockBytes - 1));
+}
+
+/** Instruction index (0..15) of an address within its 64B block. */
+constexpr unsigned
+instIndexInBlock(Addr addr)
+{
+    return blockOffset(addr) / kInstBytes;
+}
+
+/** True if the address is 4-byte aligned (a legal instruction address). */
+constexpr bool
+isInstAligned(Addr addr)
+{
+    return (addr & (kInstBytes - 1)) == 0;
+}
+
+} // namespace cfl
+
+#endif // CFL_COMMON_TYPES_HH

@@ -1,0 +1,135 @@
+#include "confluence/cmp.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+double
+CmpMetrics::meanIpc() const
+{
+    if (cores.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const CoreMetrics &c : cores)
+        sum += c.ipc();
+    return sum / cores.size();
+}
+
+double
+CmpMetrics::meanBtbMpki() const
+{
+    if (cores.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const CoreMetrics &c : cores)
+        sum += c.btbMpki();
+    return sum / cores.size();
+}
+
+double
+CmpMetrics::meanL1iMpki() const
+{
+    if (cores.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const CoreMetrics &c : cores)
+        sum += c.l1iMpki();
+    return sum / cores.size();
+}
+
+Counter
+CmpMetrics::totalRetired() const
+{
+    Counter sum = 0;
+    for (const CoreMetrics &c : cores)
+        sum += c.retired;
+    return sum;
+}
+
+Cmp::Cmp(FrontendKind kind, WorkloadId workload, const SystemConfig &config)
+    : config_(config)
+{
+    cfl_assert(config.numCores > 0, "CMP needs >= 1 core");
+    const Program &program = workloadProgram(workload);
+    const WorkloadParams wparams = workloadParams(workload);
+
+    llc_ = std::make_unique<Llc>(config.llc);
+    applyLlcReservations(kind, config_, *llc_);
+
+    // Latency-dependent metadata parameters derive from the actual LLC.
+    config_.phantom.llcLatency = llc_->hitLatency();
+    config_.shift.historyReadLatency = llc_->hitLatency();
+
+    shared_.llc = llc_.get();
+    if (usesShift(kind)) {
+        shiftHistory_ = std::make_unique<ShiftHistory>(config_.shift);
+        shared_.shiftHistory = shiftHistory_.get();
+    }
+    if (usesPhantom(kind)) {
+        shared_.phantomHistory =
+            std::make_shared<PhantomSharedHistory>(config_.phantom);
+    }
+
+    for (unsigned c = 0; c < config.numCores; ++c) {
+        const std::uint64_t seed = 0xc0fe + 0x1000ull * c;
+        cores_.push_back(std::make_unique<CoreSim>(
+            kind, program, wparams, config_, shared_, c, seed,
+            /*recorder=*/c == 0));
+    }
+}
+
+void
+Cmp::runUntilRetired(Counter target)
+{
+    // Lockstep round-robin: one cycle per core per global cycle
+    // (Section 4.1's round-robin interleaving).
+    while (true) {
+        bool any_running = false;
+        for (auto &core : cores_) {
+            if (core->frontend().measuredRetired() < target) {
+                core->frontend().tick();
+                any_running = true;
+            }
+        }
+        if (!any_running)
+            return;
+    }
+}
+
+CmpMetrics
+Cmp::run(Counter warmup_insts, Counter measure_insts)
+{
+    // Warmup: fill caches, predictors, and prefetcher history.
+    if (warmup_insts > 0)
+        runUntilRetired(warmup_insts);
+
+    for (auto &core : cores_)
+        core->beginMeasurement();
+
+    runUntilRetired(measure_insts);
+
+    CmpMetrics out;
+    for (auto &core : cores_) {
+        CoreMetrics m;
+        const Frontend &fe = core->frontend();
+        const StatSet &bpu = core->bpu().stats();
+        const StatSet &mem = core->mem().stats();
+        m.retired = fe.measuredRetired();
+        m.cycles = fe.measuredCycles();
+        m.btbTakenLookups = bpu.get("takenBranchLookups");
+        m.btbTakenMisses = bpu.get("btbTakenMisses");
+        m.misfetches = bpu.get("misfetches");
+        m.condMispredicts = bpu.get("condMispredicts");
+        m.l1iDemandFetches = mem.get("demandFetches");
+        m.l1iDemandMisses = mem.get("demandMisses");
+        m.l1iInFlightHits = mem.get("demandInFlightHits");
+        m.btbL2StallCycles = bpu.get("btbLevel2StallCycles");
+        m.fetchMissStallCycles =
+            fe.stats().get("fetchMissStallCycles");
+        out.cores.push_back(m);
+    }
+    return out;
+}
+
+} // namespace cfl

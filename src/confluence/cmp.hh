@@ -1,0 +1,97 @@
+/**
+ * @file
+ * CMP timing simulation: N cores ticked in lockstep around a shared LLC
+ * and shared prefetcher metadata (Section 4.1: a tiled sixteen-core
+ * server processor; one instruction stream per core).
+ *
+ * Core 0 is the SHIFT history generator; all cores replay the shared
+ * history (Section 3.4). Each core runs its own ExecEngine instance of
+ * the same program with a distinct seed, modeling cores serving
+ * independent request streams of one workload.
+ */
+
+#ifndef CFL_CONFLUENCE_CMP_HH
+#define CFL_CONFLUENCE_CMP_HH
+
+#include <memory>
+#include <vector>
+
+#include "confluence/factory.hh"
+
+namespace cfl
+{
+
+/** Per-core timing metrics from a CMP run. */
+struct CoreMetrics
+{
+    Counter retired = 0;
+    Cycle cycles = 0;
+    Counter btbTakenLookups = 0;
+    Counter btbTakenMisses = 0;
+    Counter misfetches = 0;
+    Counter condMispredicts = 0;
+    Counter l1iDemandFetches = 0;
+    Counter l1iDemandMisses = 0;
+    Counter l1iInFlightHits = 0;
+    Counter btbL2StallCycles = 0;
+    Counter fetchMissStallCycles = 0;
+
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(retired) / cycles;
+    }
+    double btbMpki() const
+    {
+        return retired == 0 ? 0.0 : 1000.0 * btbTakenMisses / retired;
+    }
+    double l1iMpki() const
+    {
+        return retired == 0 ? 0.0 : 1000.0 * l1iDemandMisses / retired;
+    }
+};
+
+/** Whole-CMP metrics. */
+struct CmpMetrics
+{
+    std::vector<CoreMetrics> cores;
+
+    double meanIpc() const;
+    double meanBtbMpki() const;
+    double meanL1iMpki() const;
+    Counter totalRetired() const;
+};
+
+/** A CMP running one workload under one front-end design. */
+class Cmp
+{
+  public:
+    Cmp(FrontendKind kind, WorkloadId workload, const SystemConfig &config);
+
+    /**
+     * Run @p warmup_insts then measure @p measure_insts retired
+     * instructions per core; returns per-core and aggregate metrics.
+     */
+    CmpMetrics run(Counter warmup_insts, Counter measure_insts);
+
+    CoreSim &core(unsigned i) { return *cores_[i]; }
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    Llc &llc() { return *llc_; }
+
+  private:
+    /** Tick every unfinished core until each retires @p target. */
+    void runUntilRetired(Counter target);
+
+    SystemConfig config_;
+    std::unique_ptr<Llc> llc_;
+    std::unique_ptr<ShiftHistory> shiftHistory_;
+    SharedState shared_;
+    std::vector<std::unique_ptr<CoreSim>> cores_;
+};
+
+} // namespace cfl
+
+#endif // CFL_CONFLUENCE_CMP_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Confluence controller: the glue of Section 3 / Figure 4.
+ *
+ * Whenever an instruction block is brought into the L1-I — proactively by
+ * SHIFT or on demand (step 1 in Figure 4) — the controller predecodes the
+ * block's branch instructions (branch type + target displacement) and
+ * inserts the resulting bundle into AirBTB (step 2), while the block
+ * itself goes into the L1-I (step 3). Evictions are mirrored so that the
+ * set of blocks in AirBTB and the L1-I stays identical.
+ *
+ * The controller works with any Btb that accepts block hooks; it is the
+ * single place where L1-I content and BTB content are synchronized.
+ */
+
+#ifndef CFL_CONFLUENCE_CONFLUENCE_HH
+#define CFL_CONFLUENCE_CONFLUENCE_HH
+
+#include "btb/btb.hh"
+#include "isa/code_image.hh"
+#include "isa/predecoder.hh"
+#include "mem/hierarchy.hh"
+
+namespace cfl
+{
+
+/** Wires L1-I fill/evict events through the predecoder into a BTB. */
+class ConfluenceController
+{
+  public:
+    /**
+     * Install the synchronization hooks on @p mem.
+     *
+     * Demand fills are charged the predecode latency on top of their
+     * fill latency (Section 3.2: predecode is off the critical path only
+     * for prefetched blocks).
+     */
+    ConfluenceController(InstMemory &mem, Btb &btb, const CodeImage &image,
+                         const Predecoder &predecoder);
+
+    ConfluenceController(const ConfluenceController &) = delete;
+    ConfluenceController &operator=(const ConfluenceController &) = delete;
+
+    /** Blocks predecoded so far. */
+    Counter blocksPredecoded() const { return blocksPredecoded_; }
+
+  private:
+    Btb &btb_;
+    const CodeImage &image_;
+    const Predecoder &predecoder_;
+    Counter blocksPredecoded_ = 0;
+};
+
+} // namespace cfl
+
+#endif // CFL_CONFLUENCE_CONFLUENCE_HH

@@ -1,0 +1,178 @@
+#include "core/bpu.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+std::vector<Addr>
+FetchRegion::blocks() const
+{
+    std::vector<Addr> out;
+    if (numInsts == 0)
+        return out;
+    const Addr first = blockAlign(startPc);
+    const Addr last = blockAlign(startPc + (numInsts - 1) * kInstBytes);
+    for (Addr b = first; b <= last; b += kBlockBytes)
+        out.push_back(b);
+    return out;
+}
+
+Bpu::Bpu(const BpuParams &params, Btb &btb, DirectionPredictor &direction,
+         ReturnAddressStack &ras, IndirectTargetCache &itc,
+         ExecEngine &engine, InstMemory *mem)
+    : params_(params),
+      btb_(btb),
+      direction_(direction),
+      ras_(ras),
+      itc_(itc),
+      engine_(engine),
+      mem_(mem)
+{
+}
+
+void
+Bpu::resolveMisfetchedBranch(const DynInst &inst, Cycle now)
+{
+    // Decode discovers the branch; execute resolves it. Keep the
+    // speculative structures consistent and install the entry so the
+    // next encounter hits (taken branches only: a BTB holds targets of
+    // taken branches).
+    if (inst.kind == BranchKind::Cond)
+        direction_.update(inst.pc, inst.taken);
+    if (isCall(inst.kind))
+        ras_.push(inst.fallThrough());
+    if (inst.kind == BranchKind::Return)
+        (void)ras_.pop();
+    if (usesIndirectPredictor(inst.kind))
+        itc_.update(inst.pc, inst.target);
+    if (inst.taken) {
+        btb_.learn(inst.pc, inst.kind,
+                   hasDirectTarget(inst.kind) ? inst.target : 0, now);
+        // The decode redirect restarts fetch at the target: its block
+        // fill begins now, overlapping the misfetch bubble.
+        if (mem_ != nullptr) {
+            const Addr target_block = blockAlign(inst.target);
+            if (!mem_->residentOrInFlight(target_block))
+                mem_->prefetch(target_block, now);
+        }
+    }
+}
+
+BpuResult
+Bpu::predictNextRegion(Cycle now)
+{
+    BpuResult out;
+    out.region.startPc = engine_.peek().pc;
+
+    while (true) {
+        const DynInst inst = engine_.next();
+        ++out.region.numInsts;
+        stats_.scalar("insts").inc();
+
+        if (!inst.isBranch()) {
+            if (out.region.numInsts >= params_.maxRegionInsts) {
+                // Region cap: continue sequentially next cycle.
+                stats_.scalar("regionCapEnds").inc();
+                return out;
+            }
+            continue;
+        }
+
+        stats_.scalar("branches").inc();
+        ++out.region.numBranches;
+        if (inst.taken)
+            stats_.scalar("takenBranchLookups").inc();
+
+        const BtbLookupResult btb = btb_.lookup(inst, now);
+        out.stall += btb.stallCycles;
+        if (btb.stallCycles > 0)
+            stats_.scalar("btbLevel2StallCycles").inc(btb.stallCycles);
+
+        if (!btb.hit) {
+            if (!inst.taken) {
+                // The BTB cannot even identify this instruction as a
+                // branch, so fetch falls through — which is correct.
+                // Decode still trains the direction predictor.
+                if (inst.kind == BranchKind::Cond)
+                    direction_.update(inst.pc, inst.taken);
+                if (out.region.numInsts >= params_.maxRegionInsts) {
+                    stats_.scalar("regionCapEnds").inc();
+                    return out;
+                }
+                continue;
+            }
+
+            // Actually-taken branch absent from the BTB: the sequential
+            // fetch region is wrong (misfetch). Paper Section 2.1: this
+            // is the BTB-miss event.
+            stats_.scalar("btbTakenMisses").inc();
+            stats_.scalar("misfetches").inc();
+            resolveMisfetchedBranch(inst, now);
+            out.misfetch = true;
+            out.region.deliveryBubble += params_.misfetchPenalty;
+            return out;
+        }
+
+        // BTB hit: predict with the full prediction unit.
+        switch (inst.kind) {
+          case BranchKind::Cond: {
+            const bool predicted_taken = direction_.predict(inst.pc);
+            direction_.update(inst.pc, inst.taken);
+            if (predicted_taken != inst.taken) {
+                stats_.scalar("condMispredicts").inc();
+                out.mispredict = true;
+                out.region.deliveryBubble += params_.mispredictPenalty;
+                return out;
+            }
+            if (inst.taken) {
+                // Correctly predicted taken; direct target from the BTB
+                // entry is exact for PC-relative branches.
+                return out;
+            }
+            // Correctly predicted not-taken: keep walking.
+            if (out.region.numInsts >= params_.maxRegionInsts) {
+                stats_.scalar("regionCapEnds").inc();
+                return out;
+            }
+            continue;
+          }
+
+          case BranchKind::Uncond:
+            return out;
+
+          case BranchKind::Call:
+            ras_.push(inst.fallThrough());
+            return out;
+
+          case BranchKind::Return: {
+            const Addr predicted = ras_.pop();
+            if (predicted != inst.target) {
+                stats_.scalar("rasMispredicts").inc();
+                out.mispredict = true;
+                out.region.deliveryBubble += params_.mispredictPenalty;
+            }
+            return out;
+          }
+
+          case BranchKind::IndJump:
+          case BranchKind::IndCall: {
+            const Addr predicted = itc_.predict(inst.pc);
+            itc_.update(inst.pc, inst.target);
+            if (isCall(inst.kind))
+                ras_.push(inst.fallThrough());
+            if (predicted != inst.target) {
+                stats_.scalar("indirectMispredicts").inc();
+                out.mispredict = true;
+                out.region.deliveryBubble += params_.mispredictPenalty;
+            }
+            return out;
+          }
+
+          case BranchKind::None:
+            cfl_panic("branch with kind None");
+        }
+    }
+}
+
+} // namespace cfl

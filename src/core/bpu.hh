@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Branch prediction unit: the decoupled front-end component that emits
+ * one fetch region (basic block) per cycle into the fetch queue
+ * (Table 1 / Section 4.1).
+ *
+ * The BPU walks the oracle instruction stream and, at every branch,
+ * performs the same lookups hardware would: BTB for branch identity and
+ * direct targets, direction predictor for conditionals, RAS for returns,
+ * ITC for indirects. Prediction events map to penalties:
+ *
+ *  - BTB miss on an actually-taken branch -> *misfetch*: the sequential
+ *    fetch region is wrong, discovered in the first decode stage, costing
+ *    a 4-cycle bubble (Section 4.1); the branch is learned at resolution.
+ *  - direction / return / indirect target misprediction -> pipeline
+ *    flush penalty (resolved at execute).
+ *  - first-level BTB miss satisfied by a slower second level -> the
+ *    second level's access latency as a BPU bubble (`stallCycles` from
+ *    the BTB), the timeliness cost Confluence eliminates (Section 5.1).
+ *
+ * Because the model immediately re-synchronizes to the oracle path after
+ * any mispredict, wrong-path fetch is represented by these bubbles rather
+ * than simulated instruction-by-instruction — the standard trace-driven
+ * front-end simplification.
+ */
+
+#ifndef CFL_CORE_BPU_HH
+#define CFL_CORE_BPU_HH
+
+#include <vector>
+
+#include "branch/direction.hh"
+#include "branch/indirect.hh"
+#include "branch/ras.hh"
+#include "btb/btb.hh"
+#include "common/stats.hh"
+#include "mem/hierarchy.hh"
+#include "trace/engine.hh"
+
+namespace cfl
+{
+
+/** BPU tunables (Table 1 / Section 4.1 defaults). */
+struct BpuParams
+{
+    unsigned maxRegionInsts = 16;   ///< fetch-region length cap
+    unsigned misfetchPenalty = 4;   ///< decode-stage redirect
+    unsigned mispredictPenalty = 12; ///< execute-stage redirect
+};
+
+/** A fetch region: consecutive instructions ending at a taken branch. */
+struct FetchRegion
+{
+    Addr startPc = 0;
+    unsigned numInsts = 0;
+    unsigned numBranches = 0;  ///< branch predictions made in this region
+
+    /**
+     * Pipeline bubble delivered *after* this region's instructions: the
+     * squash/redirect cost of a misfetch (decode-stage) or misprediction
+     * (execute-stage) ending the region. Charged at the fetch unit when
+     * the region finishes, because the wrong-path slots travel through
+     * the pipe regardless of fetch-queue occupancy.
+     */
+    Cycle deliveryBubble = 0;
+
+    /** Block addresses the region spans, in fetch order. */
+    std::vector<Addr> blocks() const;
+};
+
+/** Result of one BPU prediction cycle. */
+struct BpuResult
+{
+    FetchRegion region;
+    Cycle stall = 0;       ///< BPU bubble (second-level BTB access)
+    bool misfetch = false;
+    bool mispredict = false;
+};
+
+/** The decoupled branch prediction unit. */
+class Bpu
+{
+  public:
+    /**
+     * @param mem optional instruction memory: on a misfetch the decode
+     *        redirect immediately restarts instruction fetch at the
+     *        branch target, so the target's block fill begins during
+     *        the misfetch bubble rather than when the fetch unit drains
+     *        the queue to it.
+     */
+    Bpu(const BpuParams &params, Btb &btb, DirectionPredictor &direction,
+        ReturnAddressStack &ras, IndirectTargetCache &itc,
+        ExecEngine &engine, InstMemory *mem = nullptr);
+
+    /** Produce the next fetch region by walking the oracle stream. */
+    BpuResult predictNextRegion(Cycle now);
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+    /** Oracle instructions consumed so far. */
+    Counter instsConsumed() const { return stats_.get("insts"); }
+
+  private:
+    /** Resolution-time side effects of a branch the BPU did not predict
+     *  (misfetch): trains predictors, fixes RAS/ITC, learns the BTB. */
+    void resolveMisfetchedBranch(const DynInst &inst, Cycle now);
+
+    BpuParams params_;
+    Btb &btb_;
+    DirectionPredictor &direction_;
+    ReturnAddressStack &ras_;
+    IndirectTargetCache &itc_;
+    ExecEngine &engine_;
+    InstMemory *mem_;
+    StatSet stats_{"bpu"};
+};
+
+} // namespace cfl
+
+#endif // CFL_CORE_BPU_HH

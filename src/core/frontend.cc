@@ -1,0 +1,245 @@
+#include "core/frontend.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+Frontend::Frontend(const FrontendParams &params, Bpu &bpu, InstMemory &mem,
+                   InstPrefetcher *prefetcher)
+    : params_(params), bpu_(bpu), mem_(mem), prefetcher_(prefetcher)
+{
+    cfl_assert(params.fetchQueueRegions > 0, "fetch queue needs depth");
+    cfl_assert(params.fetchWidth > 0, "fetch width must be > 0");
+    cfl_assert(params.retireWidth > 0, "retire width must be positive");
+    cfl_assert(params.burstInsts > 0, "burst window must be positive");
+}
+
+void
+Frontend::beginMeasurement()
+{
+    retiredBase_ = retired_;
+    cycleBase_ = cycle_;
+    stats_.resetAll();
+}
+
+void
+Frontend::tickBackend()
+{
+    // Data-stall window: the OoO backend is blocked on memory; it
+    // consumes nothing, and any front-end bubble in this window is free.
+    if (dataStallLeft_ > 0) {
+        --dataStallLeft_;
+        stats_.scalar("backendDataStallCycles").inc();
+        return;
+    }
+
+    // Consumption window: the backend pulls at full width. An empty
+    // decode buffer here is a real front-end-supply loss.
+    const unsigned take =
+        std::min(params_.retireWidth, decodeBufferInsts_);
+    if (take > 0) {
+        decodeBufferInsts_ -= take;
+        retired_ += take;
+        burstConsumed_ += take;
+        if (burstConsumed_ >= params_.burstInsts) {
+            burstConsumed_ = 0;
+            dataStallLeft_ = params_.dataStallCycles;
+        }
+    } else {
+        stats_.scalar("backendStarvedCycles").inc();
+    }
+}
+
+void
+Frontend::fetchAheadUnderStall()
+{
+    // Table 1: 8 MSHRs. While the fetch unit waits on a fill, it keeps
+    // walking the fetch queue and starts the fills it will need next,
+    // overlapping their latencies (fetch-ahead under a miss). Squash
+    // bubbles (deliveryBubble) do not fetch ahead: the queue contents
+    // after a redirect are not yet trusted.
+    unsigned outstanding = mem_.inFlightCount(cycle_);
+    if (outstanding >= params_.fetchMshrs)
+        return;
+    unsigned scanned_offset = fetchOffset_;
+    unsigned regions_scanned = 0;
+    for (const FetchRegion &region : fetchQueue_) {
+        // Only the near-certain window: the region being fetched and the
+        // next one. Anything further sits behind unresolved branch
+        // predictions — in hardware that is wrong-path territory, which
+        // the oracle-built queue cannot represent. Deeper lookahead is
+        // exactly what a real prefetcher (FDP/SHIFT) adds.
+        if (++regions_scanned > params_.fetchAheadRegions)
+            return;
+        if (region.numInsts > 0 && scanned_offset < region.numInsts) {
+            const Addr first = blockAlign(
+                region.startPc + scanned_offset * kInstBytes);
+            const Addr last = blockAlign(
+                region.startPc + (region.numInsts - 1) * kInstBytes);
+            for (Addr block = first; block <= last;
+                 block += kBlockBytes) {
+                if (outstanding >= params_.fetchMshrs)
+                    return;
+                if (!mem_.residentOrInFlight(block)) {
+                    stats_.scalar("fetchAheadFills").inc();
+                    mem_.prefetch(block, cycle_);
+                    ++outstanding;
+                }
+            }
+        }
+        scanned_offset = 0;
+    }
+}
+
+void
+Frontend::tickFetch()
+{
+    if (fetchStallUntil_ > cycle_) {
+        stats_.scalar("fetchStallCycles").inc();
+        if (!stallIsBubble_)
+            fetchAheadUnderStall();
+        return;
+    }
+
+    unsigned credits = params_.fetchWidth;
+    while (credits > 0 && !fetchQueue_.empty() &&
+           decodeBufferInsts_ < params_.decodeBufferInsts) {
+        FetchRegion &region = fetchQueue_.front();
+        const Addr pc = region.startPc + fetchOffset_ * kInstBytes;
+        const Addr block = blockAlign(pc);
+
+        if (block != curFetchBlock_) {
+            curFetchBlock_ = block;
+            const InstMemory::FetchResult res =
+                mem_.demandFetch(block, cycle_);
+            // Miss handling precedes the access notification so the
+            // SHIFT index lookup sees the *previous* occurrence of this
+            // block, not the one being recorded now.
+            if (!res.l1Hit && !res.wasInFlight && prefetcher_ != nullptr)
+                prefetcher_->onDemandMiss(block, cycle_);
+            if (prefetcher_ != nullptr)
+                prefetcher_->onDemandAccess(block, cycle_);
+            if (!res.l1Hit) {
+                if (res.readyAt > cycle_) {
+                    fetchStallUntil_ = res.readyAt;
+                    stallIsBubble_ = false;
+                    stats_.scalar("fetchMissStalls").inc();
+                    stats_.scalar("fetchMissStallCycles")
+                        .inc(res.readyAt - cycle_);
+                    fetchAheadUnderStall();
+                    return;
+                }
+            }
+        }
+
+        // Consume instructions up to the region end, the block end, the
+        // fetch width, and the decode-buffer space.
+        const unsigned region_left = region.numInsts - fetchOffset_;
+        const unsigned block_left =
+            kInstsPerBlock - instIndexInBlock(pc);
+        const unsigned buffer_left =
+            params_.decodeBufferInsts - decodeBufferInsts_;
+        const unsigned take =
+            std::min({credits, region_left, block_left, buffer_left});
+        cfl_assert(take > 0, "fetch made no progress");
+
+        decodeBufferInsts_ += take;
+        fetchOffset_ += take;
+        credits -= take;
+        stats_.scalar("fetchedInsts").inc(take);
+
+        if (fetchOffset_ >= region.numInsts) {
+            queueBranches_ -= std::min(queueBranches_, region.numBranches);
+            // A region ending in a misfetch or misprediction delivers a
+            // redirect bubble: the squashed wrong-path slots occupy the
+            // pipe for the penalty regardless of queue occupancy.
+            const Cycle bubble = region.deliveryBubble;
+            fetchQueue_.pop_front();
+            fetchOffset_ = 0;
+            // Force a block re-check on the next region: it may start in
+            // a different block.
+            curFetchBlock_ = ~0ull;
+            if (bubble > 0) {
+                fetchStallUntil_ =
+                    std::max(fetchStallUntil_, cycle_ + bubble);
+                stallIsBubble_ = true;
+                stats_.scalar("redirectBubbleCycles").inc(bubble);
+                // The redirect squashes everything younger in the fetch
+                // queue; those regions re-emit from the BPU one per
+                // cycle (post-redirect lockstep refill).
+                if (!fetchQueue_.empty()) {
+                    stats_.scalar("redirectQueueFlushes").inc();
+                    while (!fetchQueue_.empty()) {
+                        replay_.push_back(fetchQueue_.front());
+                        fetchQueue_.pop_front();
+                    }
+                    queueBranches_ = 0;
+                }
+                break;
+            }
+        } else if (credits > 0) {
+            // Crossed into the next block of the same region.
+            continue;
+        }
+    }
+
+    if (fetchQueue_.empty())
+        stats_.scalar("fetchQueueEmptyCycles").inc();
+}
+
+void
+Frontend::tickBpu()
+{
+    if (bpuStallUntil_ > cycle_) {
+        stats_.scalar("bpuStallCycles").inc();
+        return;
+    }
+    if (fetchQueue_.size() >= params_.fetchQueueRegions) {
+        stats_.scalar("fetchQueueFullCycles").inc();
+        return;
+    }
+
+    // Re-emit squashed regions first, one per cycle: the post-redirect
+    // BPU re-predicts the correct path region by region. Second-level
+    // BTB stalls do not recur (the first pass promoted the entries).
+    if (!replay_.empty()) {
+        FetchRegion region = replay_.front();
+        replay_.pop_front();
+        fetchQueue_.push_back(region);
+        queueBranches_ += region.numBranches;
+        stats_.scalar("regionsReplayed").inc();
+        return;
+    }
+
+    const BpuResult res = bpu_.predictNextRegion(cycle_);
+    fetchQueue_.push_back(res.region);
+    stats_.scalar("regionsProduced").inc();
+
+    if (res.stall > 0)
+        bpuStallUntil_ = cycle_ + res.stall;
+
+    // Fetch-directed prefetching sees every enqueued region, along with
+    // how many unresolved branch predictions sit ahead of it.
+    if (prefetcher_ != nullptr) {
+        prefetcher_->onFetchRegion(res.region.blocks(), queueBranches_,
+                                   cycle_);
+        const unsigned errors =
+            (res.misfetch ? 1u : 0u) + (res.mispredict ? 1u : 0u);
+        prefetcher_->onBranchOutcome(res.region.numBranches, errors);
+    }
+    queueBranches_ += res.region.numBranches;
+}
+
+void
+Frontend::tick()
+{
+    ++cycle_;
+    tickBackend();
+    tickFetch();
+    tickBpu();
+}
+
+} // namespace cfl

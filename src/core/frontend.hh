@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cycle-level front-end model of one core.
+ *
+ * Pipeline structure per Table 1 / Section 4.1:
+ *
+ *   BPU --(fetch queue, 6 basic blocks)--> fetch unit --(decode buffer)
+ *      --> backend consumer
+ *
+ * Per cycle:
+ *  1. the backend consumes instructions from the decode buffer in
+ *     data-stall/burst alternation (see FrontendParams); the decode
+ *     buffer models the decoupling slack of the decode/rename queues
+ *     (short fetch bubbles are absorbed, long ones are not);
+ *  2. the fetch unit reads up to `fetchWidth` instructions of the head
+ *     fetch region from the L1-I, stalling on block misses until the
+ *     fill completes (fills already in flight — i.e. prefetched — expose
+ *     only their residual latency);
+ *  3. the BPU, unless stalled by a misfetch/misprediction bubble or a
+ *     second-level BTB access, emits one fetch region into the queue.
+ *
+ * "Performance" is instructions retired per cycle — the paper's metric —
+ * with the backend rate equal in every configuration, so all deltas come
+ * from front-end behaviour.
+ */
+
+#ifndef CFL_CORE_FRONTEND_HH
+#define CFL_CORE_FRONTEND_HH
+
+#include <deque>
+
+#include "core/bpu.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace cfl
+{
+
+/**
+ * Front-end pipeline tunables.
+ *
+ * The backend is a bursty consumer modeling a 3-way OoO core on a
+ * memory-bound server workload: it consumes `retireWidth` instructions
+ * per cycle for a window, then sits in a data-stall for
+ * `dataStallCycles` after every `burstInsts` consumed. Front-end bubbles
+ * overlapping data stalls are hidden (the OoO window drains); bubbles
+ * overlapping consumption windows cost real slots. The sustained IPC
+ * ceiling is burstInsts / (burstInsts/retireWidth + dataStallCycles).
+ */
+struct FrontendParams
+{
+    unsigned fetchQueueRegions = 6;   ///< Table 1: six basic blocks
+    unsigned fetchWidth = 6;          ///< insts/cycle L1-I -> decode
+    unsigned decodeBufferInsts = 64;  ///< decode/rename decoupling slack
+    unsigned fetchMshrs = 8;          ///< Table 1: 8 MSHRs (fetch-ahead)
+    unsigned fetchAheadRegions = 2;   ///< fetch-ahead lookahead window
+    unsigned retireWidth = 3;         ///< Table 1: 3-way core
+    unsigned burstInsts = 24;         ///< consumed per data-stall period
+    unsigned dataStallCycles = 6;     ///< backend data-stall window
+};
+
+/** One core's front end. */
+class Frontend
+{
+  public:
+    /** @param prefetcher may be nullptr (no instruction prefetching) */
+    Frontend(const FrontendParams &params, Bpu &bpu, InstMemory &mem,
+             InstPrefetcher *prefetcher);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Instructions retired so far. */
+    Counter retired() const { return retired_; }
+
+    /** Cycles simulated so far. */
+    Cycle cycles() const { return cycle_; }
+
+    /** Reset measurement counters (after warmup), keeping all
+     *  microarchitectural state warm. */
+    void beginMeasurement();
+
+    /** Retired instructions and cycles since beginMeasurement(). */
+    Counter measuredRetired() const { return retired_ - retiredBase_; }
+    Cycle measuredCycles() const { return cycle_ - cycleBase_; }
+
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    void tickBackend();
+    void tickFetch();
+    void tickBpu();
+    void fetchAheadUnderStall();
+
+    FrontendParams params_;
+    Bpu &bpu_;
+    InstMemory &mem_;
+    InstPrefetcher *prefetcher_;
+
+    std::deque<FetchRegion> fetchQueue_;
+    unsigned fetchOffset_ = 0;      ///< insts consumed of the head region
+    unsigned queueBranches_ = 0;    ///< unresolved predictions in queue
+
+    /**
+     * Regions squashed from the fetch queue by a redirect, awaiting
+     * re-emission by the BPU at one per cycle. In hardware the queue
+     * holds wrong-path regions at a redirect and is flushed; the correct
+     * path is then re-predicted region by region. Re-emission models
+     * that lockstep refill without double-walking the oracle stream.
+     */
+    std::deque<FetchRegion> replay_;
+    Addr curFetchBlock_ = ~0ull;    ///< block the fetch unit last touched
+
+    unsigned decodeBufferInsts_ = 0;
+    unsigned burstConsumed_ = 0;   ///< insts consumed since last stall
+    unsigned dataStallLeft_ = 0;   ///< backend data-stall cycles left
+
+    Cycle cycle_ = 0;
+    Cycle fetchStallUntil_ = 0;
+    bool stallIsBubble_ = false;  ///< redirect bubble (no fetch-ahead)
+    Cycle bpuStallUntil_ = 0;
+
+    Counter retired_ = 0;
+    Counter retiredBase_ = 0;
+    Cycle cycleBase_ = 0;
+
+    StatSet stats_{"frontend"};
+};
+
+} // namespace cfl
+
+#endif // CFL_CORE_FRONTEND_HH

@@ -1,0 +1,138 @@
+#include "core/functional.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+FunctionalDriver::FunctionalDriver(ExecEngine &engine, Btb &btb,
+                                   InstMemory *mem,
+                                   InstPrefetcher *prefetcher,
+                                   const Predecoder &predecoder)
+    : engine_(engine),
+      btb_(btb),
+      mem_(mem),
+      prefetcher_(prefetcher),
+      predecoder_(predecoder)
+{
+    // Hooks are installed whenever an L1-I exists: block-hook BTBs
+    // (AirBTB) consume them, and the driver's Table-2 residency tracking
+    // needs fill/evict visibility for every design.
+    if (mem_ != nullptr) {
+        mem_->setFillHook([this](Addr block, bool pf, Cycle ready) {
+            onFill(block, pf, ready, measuring_);
+        });
+        mem_->setEvictHook(
+            [this](Addr block) { onEvict(block, measuring_); });
+    }
+}
+
+void
+FunctionalDriver::onFill(Addr block, bool from_prefetch, Cycle ready,
+                         bool measuring)
+{
+    const PredecodedBlock pre =
+        predecoder_.scan(engine_.program().image, block);
+    btb_.onBlockFill(pre, from_prefetch, ready);
+
+    if (measuring && !from_prefetch) {
+        ++res_.demandFilledBlocks;
+        res_.staticBranchesInFilled += pre.numBranches();
+    }
+    residentTaken_[block];  // open a residency window
+}
+
+void
+FunctionalDriver::onEvict(Addr block, bool measuring)
+{
+    btb_.onBlockEvict(block);
+
+    const auto it = residentTaken_.find(block);
+    if (it != residentTaken_.end()) {
+        if (measuring) {
+            ++res_.residencies;
+            res_.dynamicTakenDistinct += it->second.size();
+        }
+        residentTaken_.erase(it);
+    }
+}
+
+void
+FunctionalDriver::step(bool measuring)
+{
+    const DynInst inst = engine_.next();
+    now_ = static_cast<Cycle>(engine_.instCount() * cyclesPerInst_);
+
+    if (measuring)
+        ++res_.insts;
+
+    // Block-granularity L1-I access stream.
+    const Addr block = blockAlign(inst.pc);
+    if (mem_ != nullptr && block != curBlock_) {
+        curBlock_ = block;
+        const auto fetch = mem_->demandFetch(block, now_);
+        if (measuring)
+            ++res_.l1iAccesses;
+        if (!fetch.l1Hit && !fetch.wasInFlight) {
+            if (measuring)
+                ++res_.l1iMisses;
+            // Miss first, access second: the SHIFT index must resolve to
+            // the previous occurrence of this block in the history.
+            if (prefetcher_ != nullptr)
+                prefetcher_->onDemandMiss(block, now_);
+        }
+        if (prefetcher_ != nullptr)
+            prefetcher_->onDemandAccess(block, now_);
+    }
+
+    if (!inst.isBranch())
+        return;
+    if (measuring)
+        ++res_.branches;
+
+    const BtbLookupResult hit = btb_.lookup(inst, now_);
+    if (inst.taken) {
+        if (measuring)
+            ++res_.takenLookups;
+        if (!hit.hit) {
+            if (measuring)
+                ++res_.btbMisses;
+            btb_.learn(inst.pc, inst.kind,
+                       hasDirectTarget(inst.kind) ? inst.target : 0, now_);
+        }
+        // Table 2 dynamic density: distinct taken branches touched while
+        // the block is resident.
+        if (mem_ != nullptr) {
+            const auto it = residentTaken_.find(block);
+            if (it != residentTaken_.end())
+                it->second.insert(instIndexInBlock(inst.pc));
+        }
+    }
+}
+
+FunctionalResult
+FunctionalDriver::run(const FunctionalConfig &config)
+{
+    cyclesPerInst_ = config.cyclesPerInst;
+    res_ = FunctionalResult{};
+
+    measuring_ = false;
+    for (std::uint64_t i = 0; i < config.warmupInsts; ++i)
+        step(false);
+
+    measuring_ = true;
+    for (std::uint64_t i = 0; i < config.measureInsts; ++i)
+        step(true);
+
+    // Close still-open residency windows so dynamic density covers the
+    // whole measurement.
+    for (const auto &[block, taken] : residentTaken_) {
+        ++res_.residencies;
+        res_.dynamicTakenDistinct += taken.size();
+    }
+    residentTaken_.clear();
+
+    return res_;
+}
+
+} // namespace cfl

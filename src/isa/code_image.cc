@@ -1,0 +1,60 @@
+#include "isa/code_image.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+CodeImage::CodeImage(Addr base)
+    : base_(base)
+{
+    cfl_assert(blockAlign(base) == base,
+               "code image base must be block aligned");
+}
+
+Addr
+CodeImage::append(InstWord word)
+{
+    const Addr addr = limit();
+    words_.push_back(word);
+    return addr;
+}
+
+void
+CodeImage::padToBlockBoundary()
+{
+    while (blockOffset(limit()) != 0)
+        append(encodeAlu());
+}
+
+void
+CodeImage::patch(Addr addr, InstWord word)
+{
+    cfl_assert(contains(addr), "patch outside image: %llx",
+               static_cast<unsigned long long>(addr));
+    words_[(addr - base_) / kInstBytes] = word;
+}
+
+InstWord
+CodeImage::at(Addr addr) const
+{
+    cfl_assert(contains(addr), "fetch outside image: %llx",
+               static_cast<unsigned long long>(addr));
+    cfl_assert(isInstAligned(addr), "misaligned fetch: %llx",
+               static_cast<unsigned long long>(addr));
+    return words_[(addr - base_) / kInstBytes];
+}
+
+bool
+CodeImage::contains(Addr addr) const
+{
+    return addr >= base_ && addr < limit();
+}
+
+std::size_t
+CodeImage::numBlocks() const
+{
+    return (sizeBytes() + kBlockBytes - 1) / kBlockBytes;
+}
+
+} // namespace cfl

@@ -1,0 +1,40 @@
+#include "isa/predecoder.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+Predecoder::Predecoder(unsigned latency)
+    : latency_(latency)
+{
+}
+
+PredecodedBlock
+Predecoder::scan(const CodeImage &image, Addr block_addr) const
+{
+    cfl_assert(blockAlign(block_addr) == block_addr,
+               "predecode of unaligned block address");
+
+    PredecodedBlock out;
+    out.blockAddr = block_addr;
+
+    for (unsigned i = 0; i < kInstsPerBlock; ++i) {
+        const Addr pc = block_addr + i * kInstBytes;
+        if (!image.contains(pc))
+            continue;
+        const InstWord word = image.at(pc);
+        const BranchKind kind = decodeKind(word);
+        if (kind == BranchKind::None)
+            continue;
+        PredecodedBranch br;
+        br.instIndex = static_cast<std::uint8_t>(i);
+        br.kind = kind;
+        br.target = hasDirectTarget(kind) ? directTarget(pc, word) : 0;
+        out.branchBitmap |= static_cast<std::uint16_t>(1u << i);
+        out.branches.push_back(br);
+    }
+    return out;
+}
+
+} // namespace cfl

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Block predecoder (Section 3.2 of the paper).
+ *
+ * When Confluence brings an instruction block into the L1-I (by prefetch or
+ * demand), the predecoder scans the 16 instruction words of the 64B block,
+ * identifies the branch instructions, and extracts their type and
+ * PC-relative target. The resulting PredecodedBlock is what AirBTB inserts
+ * as a bundle. Predecoding takes a few cycles; Confluence hides this
+ * latency for prefetched blocks and charges it on demand fills.
+ */
+
+#ifndef CFL_ISA_PREDECODER_HH
+#define CFL_ISA_PREDECODER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/code_image.hh"
+#include "isa/inst.hh"
+
+namespace cfl
+{
+
+/** One branch found by scanning a block. */
+struct PredecodedBranch
+{
+    std::uint8_t instIndex = 0;  ///< 0..15 position within the block
+    BranchKind kind = BranchKind::None;
+    Addr target = 0;             ///< valid only if hasDirectTarget(kind)
+
+    Addr pcIn(Addr block_addr) const
+    {
+        return block_addr + instIndex * kInstBytes;
+    }
+};
+
+/** All branches of one 64B instruction block, plus the branch bitmap. */
+struct PredecodedBlock
+{
+    Addr blockAddr = 0;
+    std::uint16_t branchBitmap = 0;  ///< bit i set = instruction i is a branch
+    std::vector<PredecodedBranch> branches;
+
+    unsigned numBranches() const
+    {
+        return static_cast<unsigned>(branches.size());
+    }
+};
+
+/** Scans instruction blocks for branch metadata. */
+class Predecoder
+{
+  public:
+    /** @param latency cycles to scan one block (Section 3.2: "a few") */
+    explicit Predecoder(unsigned latency = 3);
+
+    /**
+     * Scan the 64B block at @p block_addr of @p image.
+     *
+     * Instructions outside the image (partial trailing block) are treated
+     * as non-branches.
+     */
+    PredecodedBlock scan(const CodeImage &image, Addr block_addr) const;
+
+    /** Predecode latency in cycles. */
+    unsigned latency() const { return latency_; }
+
+  private:
+    unsigned latency_;
+};
+
+} // namespace cfl
+
+#endif // CFL_ISA_PREDECODER_HH

@@ -1,0 +1,201 @@
+#include "mem/cache.hh"
+
+#include <memory>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+SetAssocTags::SetAssocTags(CacheGeometry geometry, unsigned index_shift)
+    : geometry_(geometry), indexShift_(index_shift)
+{
+    cfl_assert(geometry.ways > 0, "cache needs >= 1 way");
+    cfl_assert(geometry.numEntries % geometry.ways == 0,
+               "entries (%llu) must divide by ways (%u)",
+               static_cast<unsigned long long>(geometry.numEntries),
+               geometry.ways);
+    const std::uint64_t sets = geometry.numSets();
+    cfl_assert(sets > 0 && isPowerOfTwo(sets),
+               "number of sets (%llu) must be a power of two",
+               static_cast<unsigned long long>(sets));
+    ways_.resize(geometry.numEntries);
+}
+
+std::uint64_t
+SetAssocTags::setIndex(std::uint64_t key) const
+{
+    return (key >> indexShift_) & (geometry_.numSets() - 1);
+}
+
+SetAssocTags::Way *
+SetAssocTags::findWay(std::uint64_t key)
+{
+    const std::uint64_t set = setIndex(key);
+    Way *base = &ways_[set * geometry_.ways];
+    for (unsigned w = 0; w < geometry_.ways; ++w) {
+        if (base[w].valid && base[w].key == key)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const SetAssocTags::Way *
+SetAssocTags::findWay(std::uint64_t key) const
+{
+    return const_cast<SetAssocTags *>(this)->findWay(key);
+}
+
+bool
+SetAssocTags::lookup(std::uint64_t key, bool update_lru)
+{
+    Way *way = findWay(key);
+    if (way == nullptr)
+        return false;
+    if (update_lru)
+        way->lastUse = ++useClock_;
+    return true;
+}
+
+bool
+SetAssocTags::contains(std::uint64_t key) const
+{
+    return findWay(key) != nullptr;
+}
+
+std::optional<std::uint64_t>
+SetAssocTags::insert(std::uint64_t key)
+{
+    cfl_assert(findWay(key) == nullptr, "double insert of key %llx",
+               static_cast<unsigned long long>(key));
+    const std::uint64_t set = setIndex(key);
+    Way *base = &ways_[set * geometry_.ways];
+
+    Way *victim = nullptr;
+    for (unsigned w = 0; w < geometry_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (victim == nullptr || base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    std::optional<std::uint64_t> evicted;
+    if (victim->valid) {
+        evicted = victim->key;
+    } else {
+        ++validCount_;
+    }
+    victim->key = key;
+    victim->valid = true;
+    victim->lastUse = ++useClock_;
+    return evicted;
+}
+
+bool
+SetAssocTags::invalidate(std::uint64_t key)
+{
+    Way *way = findWay(key);
+    if (way == nullptr)
+        return false;
+    way->valid = false;
+    --validCount_;
+    return true;
+}
+
+void
+SetAssocTags::clear()
+{
+    for (Way &w : ways_)
+        w.valid = false;
+    validCount_ = 0;
+}
+
+void
+SetAssocTags::forEachKey(const std::function<void(std::uint64_t)> &fn) const
+{
+    for (const Way &w : ways_) {
+        if (w.valid)
+            fn(w.key);
+    }
+}
+
+Cache::Cache(std::string name, std::uint64_t capacity_bytes, unsigned ways)
+    : name_(std::move(name)),
+      capacityBytes_(capacity_bytes),
+      ways_(ways),
+      stats_(name_)
+{
+    rebuildTags();
+}
+
+void
+Cache::rebuildTags()
+{
+    const std::uint64_t blocks = capacityBytes_ / kBlockBytes;
+    cfl_assert(blocks >= ways_, "%s: capacity below one set", name_.c_str());
+    // Round the set count down to a power of two; the difference models
+    // capacity lost to reserved metadata lines spread over the sets.
+    std::uint64_t sets = blocks / ways_;
+    while (!isPowerOfTwo(sets))
+        --sets;
+    CacheGeometry geom;
+    geom.ways = ways_;
+    geom.numEntries = sets * ways_;
+    tags_ = std::make_unique<SetAssocTags>(geom, floorLog2(kBlockBytes));
+}
+
+bool
+Cache::access(Addr block_addr)
+{
+    cfl_assert(blockAlign(block_addr) == block_addr,
+               "%s: unaligned block access", name_.c_str());
+    touched_ = true;
+    const bool hit = tags_->lookup(block_addr);
+    stats_.scalar(hit ? "hits" : "misses").inc();
+    return hit;
+}
+
+bool
+Cache::contains(Addr block_addr) const
+{
+    return tags_->contains(block_addr);
+}
+
+void
+Cache::insert(Addr block_addr)
+{
+    cfl_assert(blockAlign(block_addr) == block_addr,
+               "%s: unaligned block insert", name_.c_str());
+    touched_ = true;
+    if (tags_->contains(block_addr))
+        return;
+    stats_.scalar("fills").inc();
+    const auto evicted = tags_->insert(block_addr);
+    if (evicted) {
+        stats_.scalar("evictions").inc();
+        if (evictHook_)
+            evictHook_(*evicted);
+    }
+}
+
+bool
+Cache::invalidate(Addr block_addr)
+{
+    return tags_->invalidate(block_addr);
+}
+
+void
+Cache::reserveBytes(std::uint64_t bytes)
+{
+    cfl_assert(!touched_, "%s: reserveBytes after first use", name_.c_str());
+    cfl_assert(bytes < capacityBytes_, "%s: reservation exceeds capacity",
+               name_.c_str());
+    capacityBytes_ -= bytes;
+    stats_.scalar("reservedBytes").inc(bytes);
+    rebuildTags();
+}
+
+} // namespace cfl

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Generic set-associative cache with true-LRU replacement.
+ *
+ * Used for the L1-I (32KB/4-way/64B, Table 1), the shared LLC, and — with
+ * different key semantics — as the building block of the BTB designs
+ * (entries keyed by branch PC or block address instead of block address).
+ * The cache tracks presence only; instruction bytes always come from the
+ * CodeImage.
+ */
+
+#ifndef CFL_MEM_CACHE_HH
+#define CFL_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cfl
+{
+
+/** Geometry of a set-associative structure. */
+struct CacheGeometry
+{
+    std::uint64_t numEntries = 512; ///< total entries (sets * ways)
+    unsigned ways = 4;
+
+    std::uint64_t numSets() const { return numEntries / ways; }
+};
+
+/**
+ * A set-associative tag store with LRU replacement over opaque keys.
+ *
+ * Keys are arbitrary 64-bit values (block addresses for caches, branch or
+ * block addresses for BTBs); the set index is derived from the key's low
+ * bits above an optional shift.
+ */
+class SetAssocTags
+{
+  public:
+    /** @param geometry sets*ways layout (numEntries must divide by ways)
+     *  @param index_shift low bits of the key to skip when indexing
+     *         (6 for byte addresses of 64B blocks, 0 for pre-shifted keys)
+     */
+    SetAssocTags(CacheGeometry geometry, unsigned index_shift);
+
+    /** Probe for @p key; promotes to MRU on hit when @p update_lru. */
+    bool lookup(std::uint64_t key, bool update_lru = true);
+
+    /** Probe without any LRU side effect. */
+    bool contains(std::uint64_t key) const;
+
+    /**
+     * Insert @p key (must not be present); evicts the set's LRU entry if
+     * the set is full and returns the evicted key.
+     */
+    std::optional<std::uint64_t> insert(std::uint64_t key);
+
+    /** Remove @p key if present; returns true if it was. */
+    bool invalidate(std::uint64_t key);
+
+    /** Invalidate everything. */
+    void clear();
+
+    /** Number of valid entries. */
+    std::uint64_t size() const { return validCount_; }
+
+    const CacheGeometry &geometry() const { return geometry_; }
+
+    /** Iterate over all valid keys (for checkers/tests). */
+    void forEachKey(const std::function<void(std::uint64_t)> &fn) const;
+
+  private:
+    struct Way
+    {
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t setIndex(std::uint64_t key) const;
+    Way *findWay(std::uint64_t key);
+    const Way *findWay(std::uint64_t key) const;
+
+    CacheGeometry geometry_;
+    unsigned indexShift_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t validCount_ = 0;
+    std::vector<Way> ways_;
+};
+
+/** A block-presence cache (tags over 64B block addresses) with hooks. */
+class Cache
+{
+  public:
+    /** Called with the evicted block address. */
+    using EvictHook = std::function<void(Addr)>;
+
+    /** @param name stat prefix
+     *  @param capacity_bytes total data capacity
+     *  @param ways associativity */
+    Cache(std::string name, std::uint64_t capacity_bytes, unsigned ways);
+
+    /** Probe for a block; counts hit/miss stats. */
+    bool access(Addr block_addr);
+
+    /** Probe without stats or LRU update. */
+    bool contains(Addr block_addr) const;
+
+    /** Insert a block; fires the evict hook for any victim. */
+    void insert(Addr block_addr);
+
+    /** Remove a block if present. */
+    bool invalidate(Addr block_addr);
+
+    /**
+     * Shrink the effective capacity by @p bytes, modeling LLC space
+     * reserved for virtualized predictor metadata (Section 3.4). Must be
+     * called before any insertion.
+     */
+    void reserveBytes(std::uint64_t bytes);
+
+    void setEvictHook(EvictHook hook) { evictHook_ = std::move(hook); }
+
+    std::uint64_t capacityBytes() const { return capacityBytes_; }
+    std::uint64_t numBlocks() const { return tags_->size(); }
+    const StatSet &stats() const { return stats_; }
+    StatSet &stats() { return stats_; }
+
+  private:
+    void rebuildTags();
+
+    std::string name_;
+    std::uint64_t capacityBytes_;
+    unsigned ways_;
+    std::unique_ptr<SetAssocTags> tags_;
+    EvictHook evictHook_;
+    StatSet stats_;
+    bool touched_ = false;
+};
+
+} // namespace cfl
+
+#endif // CFL_MEM_CACHE_HH

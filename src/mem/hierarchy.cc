@@ -1,0 +1,144 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+InstMemory::InstMemory(const InstMemoryParams &params, Llc &llc)
+    : params_(params),
+      llc_(llc),
+      l1i_("l1i", params.l1iBytes, params.l1iWays),
+      stats_("instmem")
+{
+}
+
+void
+InstMemory::setEvictHook(EvictHook hook)
+{
+    l1i_.setEvictHook(std::move(hook));
+}
+
+void
+InstMemory::expireInFlight(Cycle now)
+{
+    // Lazy MSHR retirement: fills whose completion time passed are done.
+    for (auto it = inFlight_.begin(); it != inFlight_.end();) {
+        if (it->second <= now)
+            it = inFlight_.erase(it);
+        else
+            ++it;
+    }
+}
+
+Cycle
+InstMemory::install(Addr block_addr, bool from_prefetch, Cycle now,
+                    Cycle extra_latency)
+{
+    const Llc::Access llc_access = llc_.access(block_addr);
+    const Cycle ready = now + extra_latency + llc_access.latency;
+    stats_.scalar(llc_access.hit ? "fillsFromLlc" : "fillsFromMemory").inc();
+
+    // The tag is installed immediately (the MSHR owns the line); data
+    // readiness is tracked separately so demand fetches of in-flight
+    // blocks see the residual latency.
+    l1i_.insert(block_addr);
+    inFlight_[block_addr] = ready;
+    if (fillHook_)
+        fillHook_(block_addr, from_prefetch, ready);
+    return ready;
+}
+
+InstMemory::FetchResult
+InstMemory::demandFetch(Addr block_addr, Cycle now)
+{
+    cfl_assert(blockAlign(block_addr) == block_addr,
+               "demandFetch of unaligned address");
+
+    FetchResult out;
+    stats_.scalar("demandFetches").inc();
+
+    if (params_.perfectL1I) {
+        out.l1Hit = true;
+        out.readyAt = now;
+        stats_.scalar("demandHits").inc();
+        return out;
+    }
+
+    expireInFlight(now);
+
+    if (l1i_.access(block_addr)) {
+        const auto it = inFlight_.find(block_addr);
+        if (it == inFlight_.end()) {
+            // Present and ready.
+            out.l1Hit = true;
+            out.readyAt = now;
+            stats_.scalar("demandHits").inc();
+        } else {
+            // Fill still in flight: the demand access waits out the
+            // residual latency (partially hidden prefetch).
+            out.wasInFlight = true;
+            out.readyAt = it->second;
+            stats_.scalar("demandInFlightHits").inc();
+            stats_.scalar("demandInFlightWaitCycles")
+                .inc(it->second - now);
+        }
+        return out;
+    }
+
+    // True miss: fill from LLC/memory.
+    stats_.scalar("demandMisses").inc();
+    out.readyAt = install(block_addr, /*from_prefetch=*/false, now,
+                          /*extra_latency=*/0);
+    return out;
+}
+
+Cycle
+InstMemory::prefetch(Addr block_addr, Cycle now, Cycle extra_latency)
+{
+    cfl_assert(blockAlign(block_addr) == block_addr,
+               "prefetch of unaligned address");
+    if (params_.perfectL1I)
+        return now;
+
+    expireInFlight(now);
+
+    if (l1i_.contains(block_addr)) {
+        const auto it = inFlight_.find(block_addr);
+        stats_.scalar("prefetchRedundant").inc();
+        return it == inFlight_.end() ? now : it->second;
+    }
+
+    stats_.scalar("prefetchIssued").inc();
+    return install(block_addr, /*from_prefetch=*/true, now, extra_latency);
+}
+
+bool
+InstMemory::resident(Addr block_addr, Cycle now) const
+{
+    if (params_.perfectL1I)
+        return true;
+    if (!l1i_.contains(block_addr))
+        return false;
+    const auto it = inFlight_.find(block_addr);
+    return it == inFlight_.end() || it->second <= now;
+}
+
+bool
+InstMemory::residentOrInFlight(Addr block_addr) const
+{
+    return params_.perfectL1I || l1i_.contains(block_addr);
+}
+
+unsigned
+InstMemory::inFlightCount(Cycle now) const
+{
+    unsigned count = 0;
+    for (const auto &[block, ready] : inFlight_) {
+        if (ready > now)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace cfl

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Per-core instruction-memory path: L1-I backed by the shared LLC.
+ *
+ * InstMemory owns one core's L1-I (32KB, 4-way, 64B blocks), tracks
+ * in-flight fills (MSHR-style), and exposes the two operations the
+ * front-end needs:
+ *
+ *   demandFetch() — the fetch unit requires a block *now*; result says
+ *                   whether it hit, and if not, when the fill completes
+ *                   (a fill already in flight completes at its original
+ *                   time, modeling partially hidden prefetch latency).
+ *   prefetch()    — an instruction prefetcher (FDP/SHIFT) pulls a block
+ *                   ahead of the fetch stream.
+ *
+ * Fill and evict hooks let Confluence synchronize AirBTB's contents with
+ * the L1-I (Section 3: insertions/evictions mirrored in both structures).
+ */
+
+#ifndef CFL_MEM_HIERARCHY_HH
+#define CFL_MEM_HIERARCHY_HH
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/llc.hh"
+
+namespace cfl
+{
+
+/** Per-core instruction-memory configuration. */
+struct InstMemoryParams
+{
+    std::uint64_t l1iBytes = 32 * 1024;
+    unsigned l1iWays = 4;
+    bool perfectL1I = false;  ///< Ideal front-end: every access hits
+};
+
+/** One core's instruction-fetch path. */
+class InstMemory
+{
+  public:
+    /** Fired when a block is installed in the L1-I.
+     *  @param block the block address
+     *  @param from_prefetch true if a prefetcher brought it
+     *  @param ready_at cycle at which the block (and its predecoded
+     *         metadata) is available */
+    using FillHook = std::function<void(Addr block, bool from_prefetch,
+                                        Cycle ready_at)>;
+
+    /** Fired when a block leaves the L1-I. */
+    using EvictHook = std::function<void(Addr block)>;
+
+    InstMemory(const InstMemoryParams &params, Llc &llc);
+
+    /** Result of a demand block fetch. */
+    struct FetchResult
+    {
+        bool l1Hit = false;       ///< present and ready
+        bool wasInFlight = false; ///< missed, but a fill was in flight
+        Cycle readyAt = 0;        ///< when the fetch unit can proceed
+    };
+
+    /** Demand-fetch @p block_addr at time @p now. */
+    FetchResult demandFetch(Addr block_addr, Cycle now);
+
+    /**
+     * Prefetch @p block_addr at time @p now; returns the completion
+     * cycle. Duplicate prefetches of present/in-flight blocks are cheap
+     * no-ops (returns the existing readiness time).
+     *
+     * @param extra_latency additional delay before the fill is issued
+     *        (e.g. virtualized-history read latency for SHIFT).
+     */
+    Cycle prefetch(Addr block_addr, Cycle now, Cycle extra_latency = 0);
+
+    /** True if the block is resident and its fill completed by @p now. */
+    bool resident(Addr block_addr, Cycle now) const;
+
+    /** True if the block is resident or in flight. */
+    bool residentOrInFlight(Addr block_addr) const;
+
+    /** Number of fills still in flight at @p now (MSHR occupancy). */
+    unsigned inFlightCount(Cycle now) const;
+
+    void setFillHook(FillHook hook) { fillHook_ = std::move(hook); }
+    void setEvictHook(EvictHook hook);
+
+    Cache &l1i() { return l1i_; }
+    Llc &llc() { return llc_; }
+    const StatSet &stats() const { return stats_; }
+    StatSet &stats() { return stats_; }
+
+  private:
+    /** Install a block, firing hooks; returns fill-ready cycle. */
+    Cycle install(Addr block_addr, bool from_prefetch, Cycle now,
+                  Cycle extra_latency);
+
+    /** Drop completed fills from the in-flight map. */
+    void expireInFlight(Cycle now);
+
+    InstMemoryParams params_;
+    Llc &llc_;
+    Cache l1i_;
+    StatSet stats_;
+    FillHook fillHook_;
+
+    /** blockAddr -> fill completion cycle. */
+    std::unordered_map<Addr, Cycle> inFlight_;
+};
+
+} // namespace cfl
+
+#endif // CFL_MEM_HIERARCHY_HH

@@ -1,0 +1,34 @@
+#include "mem/llc.hh"
+
+namespace cfl
+{
+
+Llc::Llc(const LlcParams &params)
+    : params_(params),
+      noc_(params.numCores, params.nocCyclesPerHop),
+      cache_("llc", params.perCoreBytes * params.numCores, params.ways),
+      roundTrip_(noc_.averageRoundTrip() + params.bankHitLatency)
+{
+}
+
+Llc::Access
+Llc::access(Addr block_addr)
+{
+    Access out;
+    out.hit = cache_.access(block_addr);
+    if (out.hit) {
+        out.latency = hitLatency();
+    } else {
+        out.latency = missLatency();
+        cache_.insert(block_addr);
+    }
+    return out;
+}
+
+void
+Llc::reserveMetadata(std::uint64_t bytes)
+{
+    cache_.reserveBytes(bytes);
+}
+
+} // namespace cfl

@@ -1,0 +1,65 @@
+#include "mem/noc.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+MeshNoc::MeshNoc(unsigned num_nodes, unsigned cycles_per_hop)
+    : numNodes_(num_nodes), cyclesPerHop_(cycles_per_hop)
+{
+    cfl_assert(num_nodes > 0, "mesh needs >= 1 node");
+    // Squarest factorization: width >= height.
+    unsigned h = static_cast<unsigned>(std::sqrt(num_nodes));
+    while (h > 1 && num_nodes % h != 0)
+        --h;
+    height_ = h;
+    width_ = num_nodes / h;
+}
+
+unsigned
+MeshNoc::hops(unsigned from, unsigned to) const
+{
+    cfl_assert(from < numNodes_ && to < numNodes_, "node out of range");
+    const int fx = static_cast<int>(from % width_);
+    const int fy = static_cast<int>(from / width_);
+    const int tx = static_cast<int>(to % width_);
+    const int ty = static_cast<int>(to / width_);
+    return static_cast<unsigned>(std::abs(fx - tx) + std::abs(fy - ty));
+}
+
+double
+MeshNoc::averageHops() const
+{
+    // Exact average Manhattan distance over all ordered pairs (including
+    // same-tile pairs, which model the local bank).
+    std::uint64_t total = 0;
+    for (unsigned a = 0; a < numNodes_; ++a)
+        for (unsigned b = 0; b < numNodes_; ++b)
+            total += hops(a, b);
+    return static_cast<double>(total) /
+           (static_cast<double>(numNodes_) * numNodes_);
+}
+
+Cycle
+MeshNoc::latency(unsigned from, unsigned to) const
+{
+    return static_cast<Cycle>(hops(from, to)) * cyclesPerHop_;
+}
+
+Cycle
+MeshNoc::averageOneWay() const
+{
+    return static_cast<Cycle>(
+        std::llround(averageHops() * cyclesPerHop_));
+}
+
+Cycle
+MeshNoc::averageRoundTrip() const
+{
+    return 2 * averageOneWay();
+}
+
+} // namespace cfl

@@ -1,0 +1,51 @@
+#include "prefetch/consolidation.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+HistoryDirectory::HistoryDirectory(const ShiftParams &params, Llc &llc)
+    : params_(params), llc_(llc)
+{
+}
+
+ShiftHistory &
+HistoryDirectory::registerWorkload(const std::string &name)
+{
+    auto it = instances_.find(name);
+    if (it != instances_.end())
+        return *it->second;
+
+    llc_.reserveMetadata(params_.historyLlcBytes());
+    reservedBytes_ += params_.historyLlcBytes();
+    it = instances_
+             .emplace(name, std::make_unique<ShiftHistory>(params_))
+             .first;
+    return *it->second;
+}
+
+ShiftHistory &
+HistoryDirectory::historyFor(const std::string &name)
+{
+    const auto it = instances_.find(name);
+    cfl_assert(it != instances_.end(),
+               "no history instance for workload '%s'", name.c_str());
+    return *it->second;
+}
+
+bool
+HistoryDirectory::has(const std::string &name) const
+{
+    return instances_.find(name) != instances_.end();
+}
+
+bool
+HistoryDirectory::claimRecorder(const std::string &name, unsigned core_id)
+{
+    cfl_assert(has(name), "claimRecorder for unregistered workload");
+    const auto [it, inserted] = recorders_.emplace(name, core_id);
+    return inserted || it->second == core_id;
+}
+
+} // namespace cfl

@@ -1,0 +1,52 @@
+#include "prefetch/fdp.hh"
+
+#include <cmath>
+
+namespace cfl
+{
+
+FdpPrefetcher::FdpPrefetcher(InstMemory &mem)
+    : InstPrefetcher("prefetch.fdp"), mem_(mem), rng_(0xfd9)
+{
+}
+
+void
+FdpPrefetcher::onBranchOutcome(unsigned branches, unsigned errors)
+{
+    // Exponentially-decayed running estimate of the per-branch
+    // prediction error rate (misfetch or mispredict per prediction).
+    constexpr double kDecay = 1.0 / 4096.0;
+    for (unsigned i = 0; i < branches; ++i) {
+        const bool err = i < errors;
+        errRate_ += kDecay * ((err ? 1.0 : 0.0) - errRate_);
+    }
+}
+
+void
+FdpPrefetcher::onFetchRegion(const std::vector<Addr> &blocks,
+                             unsigned unresolved_branches, Cycle now)
+{
+    // FDP follows the *predicted* path. In a real front end the region
+    // at speculation depth k is on the correct path only with probability
+    // (1-e)^k, where e is the per-branch prediction error rate and k the
+    // number of unresolved predictions ahead of it — "its miss rate
+    // geometrically compounds, increasingly predicting the wrong-path
+    // instructions" (Section 2.1). The oracle-resynchronized BPU model
+    // cannot follow wrong paths, so FDP reconstructs that inaccuracy by
+    // discarding prefetch opportunities with the compounded probability.
+    const double p_correct =
+        std::pow(1.0 - errRate_, static_cast<double>(unresolved_branches));
+    if (rng_.nextDouble() >= p_correct) {
+        stats_.scalar("wrongPathSuppressed").inc();
+        return;
+    }
+
+    for (const Addr block : blocks) {
+        if (!mem_.residentOrInFlight(block)) {
+            stats_.scalar("issued").inc();
+            mem_.prefetch(block, now);
+        }
+    }
+}
+
+} // namespace cfl

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fetch-directed prefetching (Reinman, Calder & Austin, MICRO'99;
+ * Section 2.1 of the Confluence paper).
+ *
+ * The branch prediction unit runs ahead of the fetch unit through the
+ * fetch queue; FDP issues prefetches for the instruction blocks of every
+ * enqueued fetch region that are not already present. Its lookahead is
+ * bounded by the queue depth (six basic blocks) and its accuracy by the
+ * BTB/direction predictor — the two limitations Section 2.1 quantifies.
+ * FDP reuses existing branch-predictor metadata and therefore adds no
+ * storage.
+ */
+
+#ifndef CFL_PREFETCH_FDP_HH
+#define CFL_PREFETCH_FDP_HH
+
+#include "common/rng.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace cfl
+{
+
+/** Fetch-directed prefetcher. */
+class FdpPrefetcher : public InstPrefetcher
+{
+  public:
+    explicit FdpPrefetcher(InstMemory &mem);
+
+    void onFetchRegion(const std::vector<Addr> &blocks,
+                       unsigned unresolved_branches, Cycle now) override;
+    void onBranchOutcome(unsigned branches, unsigned errors) override;
+
+    /** Current per-branch prediction-error estimate (for tests). */
+    double errorRate() const { return errRate_; }
+
+  private:
+    InstMemory &mem_;
+    Rng rng_;
+    double errRate_ = 0.10;  ///< pessimistic until feedback arrives
+};
+
+} // namespace cfl
+
+#endif // CFL_PREFETCH_FDP_HH

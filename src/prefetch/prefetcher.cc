@@ -1,0 +1,7 @@
+#include "prefetch/prefetcher.hh"
+
+// Interface is header-only; this translation unit anchors the vtable.
+
+namespace cfl
+{
+} // namespace cfl

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Instruction-prefetcher interface.
+ *
+ * Prefetchers observe the fetch unit's block-granularity demand stream
+ * (every block transition and every miss) and, for fetch-directed
+ * prefetching, the fetch regions the BPU enqueues. They pull blocks into
+ * the L1-I through InstMemory::prefetch().
+ */
+
+#ifndef CFL_PREFETCH_PREFETCHER_HH
+#define CFL_PREFETCH_PREFETCHER_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace cfl
+{
+
+/** Abstract instruction prefetcher. */
+class InstPrefetcher
+{
+  public:
+    explicit InstPrefetcher(std::string name) : stats_(std::move(name)) {}
+    virtual ~InstPrefetcher() = default;
+
+    InstPrefetcher(const InstPrefetcher &) = delete;
+    InstPrefetcher &operator=(const InstPrefetcher &) = delete;
+
+    /** Every demand block transition in the fetch stream (hits too). */
+    virtual void onDemandAccess(Addr block_addr, Cycle now)
+    {
+        (void)block_addr;
+        (void)now;
+    }
+
+    /** A demand access missed (fill started). */
+    virtual void onDemandMiss(Addr block_addr, Cycle now)
+    {
+        (void)block_addr;
+        (void)now;
+    }
+
+    /**
+     * The BPU enqueued a fetch region spanning @p blocks.
+     *
+     * @param unresolved_branches branch predictions sitting in the fetch
+     *        queue ahead of this region (still speculative); prefetchers
+     *        that follow the predicted path (FDP) compound their error
+     *        across these (Section 2.1).
+     */
+    virtual void onFetchRegion(const std::vector<Addr> &blocks,
+                               unsigned unresolved_branches, Cycle now)
+    {
+        (void)blocks;
+        (void)unresolved_branches;
+        (void)now;
+    }
+
+    /** Prediction-quality feedback: @p branches predictions were made in
+     *  the last region, of which @p errors were misfetches or
+     *  mispredictions (resolved later in reality; reported here). */
+    virtual void onBranchOutcome(unsigned branches, unsigned errors)
+    {
+        (void)branches;
+        (void)errors;
+    }
+
+    const std::string &name() const { return stats_.name(); }
+    StatSet &stats() { return stats_; }
+    const StatSet &stats() const { return stats_; }
+
+  protected:
+    StatSet stats_;
+};
+
+} // namespace cfl
+
+#endif // CFL_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,156 @@
+#include "prefetch/shift.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+ShiftHistory::ShiftHistory(const ShiftParams &params)
+    : params_(params), ring_(params.historyEntries, 0)
+{
+    cfl_assert(params.historyEntries > 0, "history needs entries");
+}
+
+void
+ShiftHistory::record(Addr block_addr)
+{
+    if (block_addr == lastRecorded_)
+        return;  // consecutive duplicates carry no stream information
+    lastRecorded_ = block_addr;
+
+    ring_[head_ % ring_.size()] = block_addr;
+    index_[block_addr] = head_;
+    ++head_;
+    stats_.scalar("recorded").inc();
+
+    // Keep the index table bounded: drop entries that fell out of the
+    // circular buffer periodically (models index pointers aging out of
+    // the LLC tag array).
+    if (head_ % (ring_.size() * 4) == 0) {
+        for (auto it = index_.begin(); it != index_.end();) {
+            if (!inReach(it->second))
+                it = index_.erase(it);
+            else
+                ++it;
+        }
+    }
+}
+
+bool
+ShiftHistory::inReach(std::uint64_t pos) const
+{
+    return pos < head_ && head_ - pos <= ring_.size();
+}
+
+std::optional<std::uint64_t>
+ShiftHistory::lookup(Addr block_addr) const
+{
+    const auto it = index_.find(block_addr);
+    if (it == index_.end() || !inReach(it->second))
+        return std::nullopt;
+    return it->second;
+}
+
+Addr
+ShiftHistory::at(std::uint64_t pos) const
+{
+    cfl_assert(inReach(pos), "history read out of reach");
+    return ring_[pos % ring_.size()];
+}
+
+ShiftEngine::ShiftEngine(const ShiftParams &params, ShiftHistory &history,
+                         InstMemory &mem, bool recorder)
+    : InstPrefetcher("prefetch.shift"),
+      params_(params),
+      history_(history),
+      mem_(mem),
+      recorder_(recorder)
+{
+}
+
+void
+ShiftEngine::issueAhead(Cycle now, Cycle extra_latency)
+{
+    unsigned issued = 0;
+    while (outstanding_.size() < params_.streamDepth &&
+           issued < params_.maxIssuePerEvent && cursor_ < history_.head()) {
+        if (!history_.inReach(cursor_)) {
+            // The writer lapped us; the stream is stale.
+            active_ = false;
+            stats_.scalar("streamLapped").inc();
+            return;
+        }
+        const Addr block = history_.at(cursor_++);
+        if (outstandingSet_.count(block) != 0)
+            continue;
+        outstanding_.push_back(block);
+        outstandingSet_.insert(block);
+        if (!mem_.residentOrInFlight(block)) {
+            stats_.scalar("issued").inc();
+            mem_.prefetch(block, now, extra_latency);
+        } else {
+            stats_.scalar("issueRedundant").inc();
+        }
+        ++issued;
+    }
+}
+
+bool
+ShiftEngine::confirm(Addr block_addr)
+{
+    if (outstandingSet_.count(block_addr) == 0)
+        return false;
+    // In-order-ish confirmation: retire predictions up to and including
+    // the confirmed block (earlier ones were skipped by the fetch stream
+    // but remain harmless prefetches).
+    while (!outstanding_.empty()) {
+        const Addr front = outstanding_.front();
+        outstanding_.pop_front();
+        outstandingSet_.erase(front);
+        if (front == block_addr)
+            break;
+    }
+    stats_.scalar("confirmed").inc();
+    return true;
+}
+
+void
+ShiftEngine::onDemandAccess(Addr block_addr, Cycle now)
+{
+    if (recorder_)
+        history_.record(block_addr);
+
+    if (active_ && confirm(block_addr)) {
+        // Streaming: history reads are pipelined ahead, no extra latency.
+        issueAhead(now, 0);
+    }
+}
+
+void
+ShiftEngine::onDemandMiss(Addr block_addr, Cycle now)
+{
+    if (active_ && outstandingSet_.count(block_addr) != 0) {
+        // Already predicted (fill in flight or just confirmed): the
+        // stream is on track; onDemandAccess handles advancement.
+        return;
+    }
+
+    // Stream redirect: find the most recent occurrence of the missing
+    // block in the shared history and replay from there.
+    const auto pos = history_.lookup(block_addr);
+    if (!pos) {
+        stats_.scalar("indexMisses").inc();
+        active_ = false;
+        return;
+    }
+
+    stats_.scalar("redirects").inc();
+    active_ = true;
+    cursor_ = *pos + 1;  // the entry at *pos is the missing block itself
+    outstanding_.clear();
+    outstandingSet_.clear();
+    // The first batch pays the LLC metadata-read latency.
+    issueAhead(now, params_.historyReadLatency);
+}
+
+} // namespace cfl

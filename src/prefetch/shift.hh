@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SHIFT — Shared History Instruction Fetch (Kaynak, Grot & Falsafi,
+ * MICRO'13), the stream-based instruction prefetcher Confluence builds on
+ * (Sections 2.2 and 3.4).
+ *
+ * Components:
+ *  - ShiftHistory (shared): a 32K-entry circular *history buffer* of the
+ *    L1-I access stream at block granularity, written by one designated
+ *    core and read by all cores running the workload, plus an *index
+ *    table* mapping a block address to its most recent history position.
+ *    Both live virtualized in the LLC: the history buffer occupies
+ *    reserved LLC capacity (~204KB) and index pointers extend the LLC
+ *    tag array.
+ *  - ShiftEngine (per core): on an L1-I miss, looks up the index table
+ *    and starts replaying the stream from the found position, prefetching
+ *    `streamDepth` blocks ahead; as the core's demand stream confirms
+ *    predictions, the engine advances the stream and tops the lookahead
+ *    back up. The first batch after a redirect pays the LLC latency of
+ *    reading the history (virtualized metadata); confirmed streaming
+ *    reads are pipelined ahead of use.
+ */
+
+#ifndef CFL_PREFETCH_SHIFT_HH
+#define CFL_PREFETCH_SHIFT_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace cfl
+{
+
+/** SHIFT configuration (Section 4.2.1 values). */
+struct ShiftParams
+{
+    std::size_t historyEntries = 32 * 1024;
+    unsigned streamDepth = 24;       ///< prefetch lookahead in blocks
+    unsigned maxIssuePerEvent = 8;   ///< prefetches issued per event
+    Cycle historyReadLatency = 20;   ///< LLC round trip for metadata reads
+
+    /** LLC bytes the virtualized history occupies (paper: ~204KB). The
+     *  index lives in the LLC tag array and costs area, not capacity. */
+    std::uint64_t historyLlcBytes() const
+    {
+        // 40-bit block addresses, packed: ~5.1 bits/byte => ~6.4B/entry.
+        return historyEntries * 51 / 8;
+    }
+};
+
+/** The shared, LLC-virtualized control-flow history. */
+class ShiftHistory
+{
+  public:
+    explicit ShiftHistory(const ShiftParams &params);
+
+    /**
+     * Append a block address to the history (called by the designated
+     * history-generator core); consecutive duplicates are elided.
+     */
+    void record(Addr block_addr);
+
+    /** Most recent history position holding @p block_addr, if still
+     *  within the circular buffer's reach. */
+    std::optional<std::uint64_t> lookup(Addr block_addr) const;
+
+    /** Read the entry at absolute position @p pos (must be in reach). */
+    Addr at(std::uint64_t pos) const;
+
+    /** One past the most recently written absolute position. */
+    std::uint64_t head() const { return head_; }
+
+    /** True if @p pos is a readable position. */
+    bool inReach(std::uint64_t pos) const;
+
+    const ShiftParams &params() const { return params_; }
+    StatSet &stats() { return stats_; }
+
+  private:
+    ShiftParams params_;
+    std::vector<Addr> ring_;
+    std::uint64_t head_ = 0;  ///< absolute write position
+    Addr lastRecorded_ = ~0ull;
+    /** Index table: block -> most recent absolute position. */
+    std::unordered_map<Addr, std::uint64_t> index_;
+    StatSet stats_{"shift.history"};
+};
+
+/** Per-core SHIFT stream-replay engine. */
+class ShiftEngine : public InstPrefetcher
+{
+  public:
+    /** @param recorder true for the single history-generator core */
+    ShiftEngine(const ShiftParams &params, ShiftHistory &history,
+                InstMemory &mem, bool recorder);
+
+    void onDemandAccess(Addr block_addr, Cycle now) override;
+    void onDemandMiss(Addr block_addr, Cycle now) override;
+
+    /** Blocks predicted but not yet confirmed (tests/analysis). */
+    std::size_t outstanding() const { return outstanding_.size(); }
+
+  private:
+    /** Issue prefetches from the cursor until the lookahead is full. */
+    void issueAhead(Cycle now, Cycle extra_latency);
+
+    /** Confirm @p block if it was predicted; returns true if so. */
+    bool confirm(Addr block_addr);
+
+    ShiftParams params_;
+    ShiftHistory &history_;
+    InstMemory &mem_;
+    bool recorder_;
+
+    bool active_ = false;
+    std::uint64_t cursor_ = 0;  ///< next unread absolute history position
+    std::deque<Addr> outstanding_;
+    std::unordered_set<Addr> outstandingSet_;
+};
+
+} // namespace cfl
+
+#endif // CFL_PREFETCH_SHIFT_HH

@@ -1,0 +1,139 @@
+#include "sim/experiment.hh"
+
+#include "common/logging.hh"
+#include "sim/metrics.hh"
+
+namespace cfl
+{
+
+TimingPoint
+runTiming(FrontendKind kind, WorkloadId workload,
+          const SystemConfig &config, const RunScale &scale)
+{
+    SystemConfig cfg = config;
+    cfg.numCores = scale.timingCores;
+
+    Cmp cmp(kind, workload, cfg);
+    TimingPoint out;
+    out.kind = kind;
+    out.workload = workload;
+    out.metrics =
+        cmp.run(scale.timingWarmupInsts, scale.timingMeasureInsts);
+    return out;
+}
+
+std::vector<ComparisonRow>
+runComparison(const std::vector<FrontendKind> &kinds,
+              const std::vector<WorkloadId> &workloads,
+              const SystemConfig &config, const RunScale &scale)
+{
+    // Baseline IPC per workload is the normalization denominator.
+    std::map<WorkloadId, double> baseline_ipc;
+    for (const WorkloadId wl : workloads) {
+        baseline_ipc[wl] =
+            runTiming(FrontendKind::Baseline, wl, config, scale)
+                .metrics.meanIpc();
+    }
+
+    std::vector<ComparisonRow> rows;
+    for (const FrontendKind kind : kinds) {
+        ComparisonRow row;
+        row.kind = kind;
+        row.relArea = relativeArea(kind, config);
+
+        std::vector<double> speedups;
+        for (const WorkloadId wl : workloads) {
+            double s = 1.0;
+            if (kind == FrontendKind::Baseline) {
+                s = 1.0;
+            } else {
+                const double ipc =
+                    runTiming(kind, wl, config, scale).metrics.meanIpc();
+                s = speedup(ipc, baseline_ipc[wl]);
+            }
+            row.perWorkloadSpeedup[wl] = s;
+            speedups.push_back(s);
+        }
+        row.relPerfGeomean = geomean(speedups);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+FunctionalRun
+runFunctionalStudy(WorkloadId workload, const FunctionalSetup &setup,
+                   const SystemConfig &config,
+                   const FunctionalConfig &fconfig,
+                   const std::function<std::unique_ptr<Btb>(
+                       const Program &, const Predecoder &)> &btb_factory)
+{
+    const Program &program = workloadProgram(workload);
+    const WorkloadParams wparams = workloadParams(workload);
+
+    Predecoder predecoder(config.predecodeLatency);
+    ExecEngine engine(program, wparams, 0xfeed);
+
+    std::unique_ptr<Btb> btb = btb_factory(program, predecoder);
+    cfl_assert(btb != nullptr, "btb_factory returned null");
+
+    std::unique_ptr<Llc> llc;
+    std::unique_ptr<InstMemory> mem;
+    std::unique_ptr<ShiftHistory> history;
+    std::unique_ptr<ShiftEngine> shift;
+
+    if (setup.useL1I) {
+        llc = std::make_unique<Llc>(config.llc);
+        if (setup.useShift)
+            llc->reserveMetadata(config.shift.historyLlcBytes());
+        mem = std::make_unique<InstMemory>(config.instMem, *llc);
+        if (setup.useShift) {
+            ShiftParams sp = config.shift;
+            sp.historyReadLatency = llc->hitLatency();
+            history = std::make_unique<ShiftHistory>(sp);
+            shift = std::make_unique<ShiftEngine>(sp, *history, *mem,
+                                                  /*recorder=*/true);
+        }
+    } else {
+        cfl_assert(!setup.useShift, "SHIFT needs an L1-I");
+    }
+
+    if (auto *air = dynamic_cast<AirBtb *>(btb.get())) {
+        if (mem != nullptr) {
+            air->setFillRequest([m = mem.get(),
+                                 pf = shift.get()](Addr block, Cycle now) {
+                if (pf != nullptr)
+                    pf->onDemandMiss(block, now);
+                m->prefetch(block, now);
+            });
+        }
+    }
+
+    FunctionalDriver driver(engine, *btb, mem.get(), shift.get(),
+                            predecoder);
+    FunctionalRun out;
+    out.result = driver.run(fconfig);
+    return out;
+}
+
+FunctionalResult
+runConventionalBtbStudy(WorkloadId workload, std::size_t entries,
+                        unsigned ways, unsigned victim_entries,
+                        bool with_l1i, const FunctionalConfig &fconfig)
+{
+    FunctionalSetup setup;
+    setup.useL1I = with_l1i;
+    setup.useShift = false;
+    const SystemConfig config = makeSystemConfig(1);
+    const auto run = runFunctionalStudy(
+        workload, setup, config, fconfig,
+        [&](const Program &, const Predecoder &) {
+            ConventionalBtbParams p;
+            p.entries = entries;
+            p.ways = ways;
+            p.victimEntries = victim_entries;
+            return std::make_unique<ConventionalBtb>(p);
+        });
+    return run.result;
+}
+
+} // namespace cfl

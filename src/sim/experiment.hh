@@ -1,0 +1,97 @@
+/**
+ * @file
+ * High-level experiment runners used by the per-figure bench binaries.
+ *
+ * Two kinds of experiments reproduce the paper:
+ *  - timing comparisons (Figures 2, 6, 7): full CMP cycle simulation of
+ *    a front-end design, normalized to the Baseline design;
+ *  - functional coverage studies (Figures 1, 8, 9, 10; Table 2): BTB and
+ *    L1-I hit/miss behaviour over the oracle stream, with optional
+ *    functional SHIFT prefetching (timing-free).
+ */
+
+#ifndef CFL_SIM_EXPERIMENT_HH
+#define CFL_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "confluence/cmp.hh"
+#include "core/functional.hh"
+#include "sim/presets.hh"
+
+namespace cfl
+{
+
+/** Timing result of one (design, workload) point. */
+struct TimingPoint
+{
+    FrontendKind kind;
+    WorkloadId workload;
+    CmpMetrics metrics;
+};
+
+/** Run one timing point at the given scale. */
+TimingPoint runTiming(FrontendKind kind, WorkloadId workload,
+                      const SystemConfig &config, const RunScale &scale);
+
+/** Normalized comparison of several designs (geomean over workloads). */
+struct ComparisonRow
+{
+    FrontendKind kind;
+    double relPerfGeomean = 0.0;  ///< vs Baseline
+    double relArea = 0.0;
+    std::map<WorkloadId, double> perWorkloadSpeedup;
+};
+
+/**
+ * Run @p kinds (plus Baseline implicitly) over @p workloads and
+ * normalize performance to Baseline per workload.
+ */
+std::vector<ComparisonRow>
+runComparison(const std::vector<FrontendKind> &kinds,
+              const std::vector<WorkloadId> &workloads,
+              const SystemConfig &config, const RunScale &scale);
+
+/**
+ * Functional front-end environment for coverage studies: builds the
+ * engine, optional L1-I + LLC, optional functional SHIFT, wires the
+ * caller's BTB, and runs the FunctionalDriver.
+ */
+struct FunctionalSetup
+{
+    bool useL1I = true;
+    bool useShift = false;
+    /** Override AirBTB-style params etc. by building your own Btb. */
+};
+
+/** Owns everything a functional run needs; keeps the Btb alive. */
+struct FunctionalRun
+{
+    FunctionalResult result;
+};
+
+/**
+ * Run a functional study of @p btb on @p workload.
+ *
+ * @param btb_factory builds the BTB once the predecoder/LLC exist; it
+ *        receives (program, predecoder, core_id) and must return the BTB.
+ */
+FunctionalRun
+runFunctionalStudy(WorkloadId workload, const FunctionalSetup &setup,
+                   const SystemConfig &config,
+                   const FunctionalConfig &fconfig,
+                   const std::function<std::unique_ptr<Btb>(
+                       const Program &, const Predecoder &)> &btb_factory);
+
+/** Convenience: functional study of a conventional BTB of @p entries. */
+FunctionalResult
+runConventionalBtbStudy(WorkloadId workload, std::size_t entries,
+                        unsigned ways, unsigned victim_entries,
+                        bool with_l1i, const FunctionalConfig &fconfig);
+
+} // namespace cfl
+
+#endif // CFL_SIM_EXPERIMENT_HH

@@ -1,0 +1,59 @@
+#include "sim/metrics.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : values) {
+        cfl_assert(v > 0.0, "geomean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+missCoverage(Counter design_misses, Counter baseline_misses)
+{
+    if (baseline_misses == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(design_misses) /
+                     static_cast<double>(baseline_misses);
+}
+
+double
+speedup(double design_ipc, double baseline_ipc)
+{
+    if (baseline_ipc <= 0.0)
+        return 0.0;
+    return design_ipc / baseline_ipc;
+}
+
+double
+fractionOfIdeal(double design_speedup, double ideal_speedup)
+{
+    if (ideal_speedup <= 1.0)
+        return 0.0;
+    return (design_speedup - 1.0) / (ideal_speedup - 1.0);
+}
+
+} // namespace cfl

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Derived-metric helpers shared by the experiment harness and benches:
+ * geometric means, miss-coverage computation, normalization.
+ */
+
+#ifndef CFL_SIM_METRICS_HH
+#define CFL_SIM_METRICS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cfl
+{
+
+/** Geometric mean of positive values (0 for empty input). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (0 for empty input). */
+double mean(const std::vector<double> &values);
+
+/**
+ * Fraction of baseline misses a design eliminates (Figures 8-10).
+ * Negative when the design misses more than the baseline.
+ */
+double missCoverage(Counter design_misses, Counter baseline_misses);
+
+/** Speedup of design over baseline given IPCs. */
+double speedup(double design_ipc, double baseline_ipc);
+
+/** Fraction of the ideal improvement captured:
+ *  (design - base) / (ideal - base), in performance ratios. */
+double fractionOfIdeal(double design_speedup, double ideal_speedup);
+
+} // namespace cfl
+
+#endif // CFL_SIM_METRICS_HH

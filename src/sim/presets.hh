@@ -1,0 +1,56 @@
+/**
+ * @file
+ * System presets (Table 1) and run-scale knobs.
+ *
+ * The paper simulates a 16-core CMP with SimFlex sampling. Our default
+ * bench scale runs fewer cores and a few million instructions per point
+ * so the whole harness finishes in minutes; the 16-core Table-1 preset
+ * is available for full-fidelity runs. Scale can be overridden with the
+ * CONFLUENCE_SCALE environment variable ("quick", "default", "full").
+ */
+
+#ifndef CFL_SIM_PRESETS_HH
+#define CFL_SIM_PRESETS_HH
+
+#include "area/area_model.hh"
+#include "confluence/factory.hh"
+#include "core/functional.hh"
+
+namespace cfl
+{
+
+/** Instruction budgets for one experiment point. */
+struct RunScale
+{
+    Counter timingWarmupInsts = 1'500'000;
+    Counter timingMeasureInsts = 1'000'000;
+    unsigned timingCores = 2;
+    Counter functionalWarmupInsts = 3'000'000;
+    Counter functionalMeasureInsts = 5'000'000;
+};
+
+/** Table 1 system configuration scaled to @p num_cores. */
+SystemConfig makeSystemConfig(unsigned num_cores);
+
+/** The paper's full 16-core configuration. */
+SystemConfig paperSystemConfig();
+
+/** Current run scale (honors CONFLUENCE_SCALE). */
+RunScale currentScale();
+
+/** FunctionalConfig derived from the current scale. */
+FunctionalConfig functionalConfigFromScale(const RunScale &scale);
+
+/** Per-core area overhead (dedicated mm²) of a design point. */
+double frontendOverheadMm2(FrontendKind kind, const SystemConfig &config);
+
+/** Relative per-core area versus the baseline front end (Figs. 2/6). */
+double relativeArea(FrontendKind kind, const SystemConfig &config);
+
+/** Dedicated + virtualized storage inventory of a design point. */
+std::vector<StructureArea> frontendStructures(FrontendKind kind,
+                                              const SystemConfig &config);
+
+} // namespace cfl
+
+#endif // CFL_SIM_PRESETS_HH

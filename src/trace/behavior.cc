@@ -1,0 +1,70 @@
+#include "trace/behavior.hh"
+
+namespace cfl
+{
+
+namespace
+{
+
+/** Uniform [0,1) value derived from a (site, request-type) pair. */
+double
+siteUnit(Addr branch_pc, std::uint32_t req_type, std::uint64_t salt)
+{
+    const std::uint64_t h =
+        hashCombine(hashCombine(branch_pc, req_type), salt);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+BranchBehavior::BranchBehavior(double noise)
+    : noise_(noise)
+{
+}
+
+bool
+BranchBehavior::habitualDirection(Addr branch_pc, const BranchInfo &info,
+                                  std::uint32_t req_type) const
+{
+    // The per-site bias shapes the fraction of request types that take the
+    // branch; within one request type the habit is fixed.
+    return siteUnit(branch_pc, req_type, 0x7aceb00c) < info.bias;
+}
+
+bool
+BranchBehavior::conditionalOutcome(Addr branch_pc, const BranchInfo &info,
+                                   std::uint32_t req_type, Rng &rng) const
+{
+    const bool habit = habitualDirection(branch_pc, info, req_type);
+    if (noise_ > 0.0 && rng.nextBool(noise_))
+        return !habit;
+    return habit;
+}
+
+std::uint32_t
+BranchBehavior::loopTrip(Addr branch_pc, const BranchInfo &info,
+                         std::uint32_t req_type) const
+{
+    const std::uint64_t h =
+        hashCombine(hashCombine(branch_pc, req_type), 0x100b5);
+    const std::uint32_t range = info.tripRange + 1u;
+    std::uint32_t trip = info.tripBase + static_cast<std::uint32_t>(h % range);
+    return trip == 0 ? 1 : trip;
+}
+
+std::size_t
+BranchBehavior::indirectChoice(Addr branch_pc, const BranchInfo &info,
+                               std::uint32_t req_type, std::size_t set_size,
+                               Rng &rng) const
+{
+    (void)info;
+    if (set_size <= 1)
+        return 0;
+    if (noise_ > 0.0 && rng.nextBool(noise_))
+        return static_cast<std::size_t>(rng.nextBelow(set_size));
+    const std::uint64_t h =
+        hashCombine(hashCombine(branch_pc, req_type), 0x1d1d);
+    return static_cast<std::size_t>(h % set_size);
+}
+
+} // namespace cfl

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-branch outcome model.
+ *
+ * The model makes control flow *recurring at the request level* (the
+ * property SHIFT's temporal streams rely on, Section 2.2): a branch's
+ * outcome is a deterministic function of (branch site, request type),
+ * perturbed by a small per-execution noise term. Loop backedges iterate a
+ * per-(site, request-type) trip count. Indirect branches choose a target
+ * from their site's target set the same way.
+ */
+
+#ifndef CFL_TRACE_BEHAVIOR_HH
+#define CFL_TRACE_BEHAVIOR_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "workloads/program.hh"
+
+namespace cfl
+{
+
+/** Deterministic per-(site, request-type) branch behaviour. */
+class BranchBehavior
+{
+  public:
+    /** @param noise per-execution probability of diverging from habit */
+    explicit BranchBehavior(double noise);
+
+    /** Habitual direction of a non-loop conditional under @p req_type. */
+    bool habitualDirection(Addr branch_pc, const BranchInfo &info,
+                           std::uint32_t req_type) const;
+
+    /** Actual direction including the noise draw from @p rng. */
+    bool conditionalOutcome(Addr branch_pc, const BranchInfo &info,
+                            std::uint32_t req_type, Rng &rng) const;
+
+    /** Loop trip count for this (site, request type). Always >= 1. */
+    std::uint32_t loopTrip(Addr branch_pc, const BranchInfo &info,
+                           std::uint32_t req_type) const;
+
+    /** Index into the branch's indirect target set (noise included). */
+    std::size_t indirectChoice(Addr branch_pc, const BranchInfo &info,
+                               std::uint32_t req_type, std::size_t set_size,
+                               Rng &rng) const;
+
+    double noise() const { return noise_; }
+
+  private:
+    double noise_;
+};
+
+} // namespace cfl
+
+#endif // CFL_TRACE_BEHAVIOR_HH

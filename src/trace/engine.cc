@@ -1,0 +1,141 @@
+#include "trace/engine.hh"
+
+#include "common/logging.hh"
+#include "workloads/generator.hh"
+
+namespace cfl
+{
+
+ExecEngine::ExecEngine(const Program &program, const EngineParams &params)
+    : program_(program),
+      behavior_(params.branchNoise),
+      rng_(params.seed),
+      zipfSkew_(params.zipfSkew),
+      pc_(program.entry)
+{
+    cfl_assert(program_.image.contains(pc_), "program entry outside image");
+    cfl_assert(!program_.handlers.empty(), "program has no request handlers");
+}
+
+ExecEngine::ExecEngine(const Program &program, const WorkloadParams &wparams,
+                       std::uint64_t seed)
+    : ExecEngine(program,
+                 EngineParams{seed, wparams.zipfSkew, wparams.branchNoise})
+{
+}
+
+const DynInst &
+ExecEngine::peek()
+{
+    if (!hasPeek_) {
+        step();
+        hasPeek_ = true;
+    }
+    return cur_;
+}
+
+const DynInst &
+ExecEngine::next()
+{
+    if (!hasPeek_)
+        step();
+    hasPeek_ = false;
+    return cur_;
+}
+
+void
+ExecEngine::step()
+{
+    const InstWord word = program_.image.at(pc_);
+    const BranchKind kind = decodeKind(word);
+
+    cur_ = DynInst{};
+    cur_.pc = pc_;
+    cur_.kind = kind;
+    cur_.requestId = static_cast<std::uint32_t>(requestCount_);
+
+    switch (kind) {
+      case BranchKind::None:
+        cur_.taken = false;
+        break;
+
+      case BranchKind::Cond: {
+        const BranchInfo *info = program_.branchAt(pc_);
+        cfl_assert(info != nullptr, "conditional without metadata at %llx",
+                   static_cast<unsigned long long>(pc_));
+        if (info->isLoopBack) {
+            // The backedge is taken until the per-invocation trip count is
+            // reached, then falls through and resets.
+            const std::uint32_t trip =
+                behavior_.loopTrip(pc_, *info, requestType_);
+            std::uint32_t &count = loopCounters_[pc_];
+            ++count;
+            if (count < trip) {
+                cur_.taken = true;
+            } else {
+                cur_.taken = false;
+                count = 0;
+            }
+        } else {
+            cur_.taken =
+                behavior_.conditionalOutcome(pc_, *info, requestType_, rng_);
+        }
+        cur_.target = info->target;
+        break;
+      }
+
+      case BranchKind::Uncond: {
+        const BranchInfo *info = program_.branchAt(pc_);
+        cur_.taken = true;
+        cur_.target = info->target;
+        break;
+      }
+
+      case BranchKind::Call: {
+        const BranchInfo *info = program_.branchAt(pc_);
+        cur_.taken = true;
+        cur_.target = info->target;
+        stack_.push_back(pc_ + kInstBytes);
+        break;
+      }
+
+      case BranchKind::IndCall:
+      case BranchKind::IndJump: {
+        const BranchInfo *info = program_.branchAt(pc_);
+        cfl_assert(info != nullptr, "indirect without metadata");
+        const auto &targets = program_.indirectSets[info->indirectSet];
+        if (pc_ == program_.dispatchCallPc) {
+            // Request boundary: draw the next request type (Zipf over
+            // types), then dispatch to that type's handler.
+            ++requestCount_;
+            requestType_ = static_cast<std::uint32_t>(
+                rng_.nextZipf(program_.numRequestTypes, zipfSkew_));
+            const std::size_t idx =
+                hashMix(requestType_ * 0x9e3779b9ull) % targets.size();
+            cur_.target = targets[idx];
+        } else {
+            const std::size_t idx = behavior_.indirectChoice(
+                pc_, *info, requestType_, targets.size(), rng_);
+            cur_.target = targets[idx];
+        }
+        cur_.taken = true;
+        if (kind == BranchKind::IndCall)
+            stack_.push_back(pc_ + kInstBytes);
+        break;
+      }
+
+      case BranchKind::Return: {
+        cfl_assert(!stack_.empty(), "return with empty call stack at %llx",
+                   static_cast<unsigned long long>(pc_));
+        cur_.taken = true;
+        cur_.target = stack_.back();
+        stack_.pop_back();
+        break;
+      }
+    }
+
+    pc_ = cur_.nextPc();
+    ++instCount_;
+}
+
+} // namespace cfl

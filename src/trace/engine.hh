@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Execution engine: turns a static Program into the dynamic instruction
+ * stream (the oracle trace) one instruction at a time.
+ *
+ * The engine is the stand-in for Flexus full-system traces: it maintains
+ * a call stack and per-loop counters, draws a new typed request at every
+ * iteration of the dispatch loop (Zipf-distributed popularity), and asks
+ * the BranchBehavior model for every outcome. Two engines constructed
+ * with the same (program, seed) produce identical streams.
+ */
+
+#ifndef CFL_TRACE_ENGINE_HH
+#define CFL_TRACE_ENGINE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/inst.hh"
+#include "trace/behavior.hh"
+#include "workloads/generator.hh"
+#include "workloads/program.hh"
+
+namespace cfl
+{
+
+/** Execution-engine tunables (defaults come from the workload). */
+struct EngineParams
+{
+    std::uint64_t seed = 0x5eed;
+    double zipfSkew = 0.6;
+    double branchNoise = 0.03;
+};
+
+/** Generates the dynamic instruction stream of one core. */
+class ExecEngine
+{
+  public:
+    ExecEngine(const Program &program, const EngineParams &params);
+
+    /** Convenience: defaults drawn from the generating WorkloadParams. */
+    ExecEngine(const Program &program, const WorkloadParams &wparams,
+               std::uint64_t seed);
+
+    /** Execute and return the next dynamic instruction. */
+    const DynInst &next();
+
+    /** The instruction that next() will return, without advancing. */
+    const DynInst &peek();
+
+    /** Number of requests dispatched so far. */
+    std::uint64_t requestCount() const { return requestCount_; }
+
+    /** Request type currently being served. */
+    std::uint32_t currentRequestType() const { return requestType_; }
+
+    /** Total instructions executed. */
+    std::uint64_t instCount() const { return instCount_; }
+
+    /** Current call-stack depth. */
+    std::size_t stackDepth() const { return stack_.size(); }
+
+    const Program &program() const { return program_; }
+
+  private:
+    void step();
+
+    const Program &program_;
+    BranchBehavior behavior_;
+    Rng rng_;
+    double zipfSkew_;
+
+    Addr pc_;
+    std::vector<Addr> stack_;
+    std::unordered_map<Addr, std::uint32_t> loopCounters_;
+
+    std::uint32_t requestType_ = 0;
+    std::uint64_t requestCount_ = 0;
+    std::uint64_t instCount_ = 0;
+
+    DynInst cur_;
+    bool hasPeek_ = false;
+};
+
+} // namespace cfl
+
+#endif // CFL_TRACE_ENGINE_HH

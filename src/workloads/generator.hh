@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Synthetic scale-out workload generator.
+ *
+ * The paper evaluates CloudSuite/TPC server workloads whose defining
+ * front-end properties are:
+ *
+ *   1. multi-megabyte instruction working sets (deep software stacks of
+ *      "over a dozen layers of services"),
+ *   2. highly recurring control flow at the request level (the source of
+ *      the temporal instruction streams SHIFT replays), and
+ *   3. ~2.5-4.3 static branches per 64B instruction block (Table 2).
+ *
+ * We cannot ship TPC-C on DB2, so we generate programs with exactly these
+ * properties: a layered call graph (layer l only calls layer l+1) whose
+ * functions are built from straight runs, if/else diamonds, loops, and
+ * direct/indirect call sites. A top-level dispatch loop serves an endless
+ * sequence of typed requests; conditional outcomes and indirect targets
+ * are deterministic per (branch, request type) with a small noise term,
+ * so each request type carves a recurring path through the stack.
+ */
+
+#ifndef CFL_WORKLOADS_GENERATOR_HH
+#define CFL_WORKLOADS_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/program.hh"
+
+namespace cfl
+{
+
+/** Tunable knobs of the synthetic workload generator. */
+struct WorkloadParams
+{
+    std::string name = "synthetic";
+    std::uint64_t seed = 1;
+
+    /** Functions per software layer; layer 0 holds request handlers. */
+    std::vector<unsigned> layerWidths = {4, 8, 16, 32, 64};
+
+    /** Straight-run (non-branch) lengths between branch sites. Shorter
+     *  runs raise the static branch density (Table 2 calibration). */
+    unsigned minStraight = 2;
+    unsigned maxStraight = 6;
+
+    /** If/else diamonds per function. */
+    unsigned minDiamonds = 2;
+    unsigned maxDiamonds = 5;
+
+    /** Loops per function and their trip-count distribution. */
+    unsigned minLoops = 0;
+    unsigned maxLoops = 2;
+    std::uint8_t tripBase = 2;
+    std::uint8_t tripRange = 4;
+
+    /** Expected number of *executed* call sites per function visit; this
+     *  controls the per-request footprint (call-tree fan-out). */
+    double callsExpected = 1.5;
+
+    /** Fraction of call sites that are indirect (virtual dispatch). */
+    double indirectCallFrac = 0.15;
+
+    /**
+     * Callee-popularity skew (the 80/20 structure of real software
+     * stacks): with probability hotCalleeProb a call site targets the
+     * "hot" first hotCalleeFrac of the next layer's functions. This
+     * controls branch/block reuse distances and therefore where the
+     * Figure 1 BTB MPKI curve sits.
+     */
+    double hotCalleeFrac = 0.2;
+    double hotCalleeProb = 0.7;
+
+    /** Indirect-call fan-out (targets per site). */
+    unsigned indirectFanoutMin = 2;
+    unsigned indirectFanoutMax = 6;
+
+    /**
+     * Guard branches: almost-never-taken conditionals (error checks,
+     * assertion guards, uncommon-case tests) sprinkled through straight
+     * code. They dominate the *static* branch density of real server
+     * code while contributing almost nothing to the *dynamic*
+     * taken-branch stream — the source of the paper's Table 2 gap
+     * (static ~3.5 vs dynamic ~1.5 branches per block).
+     */
+    double guardProb = 0.25;   ///< P(guard after each straight chunk)
+    double guardBias = 0.03;   ///< P(taken) of a guard
+
+    /** Request mix. */
+    unsigned numRequestTypes = 32;
+    double zipfSkew = 0.6;
+
+    /** Per-execution probability that a conditional outcome or indirect
+     *  target diverges from its (branch, request-type) habit. This is the
+     *  control-flow divergence that limits PhantomBTB's temporal groups. */
+    double branchNoise = 0.03;
+};
+
+/** Generate a complete synthetic program from @p params. */
+Program generateWorkload(const WorkloadParams &params);
+
+} // namespace cfl
+
+#endif // CFL_WORKLOADS_GENERATOR_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The five server-workload classes of the paper's Table 1, reproduced as
+ * synthetic-workload parameter presets:
+ *
+ *   OLTP DB2        — TPC-C on IBM DB2
+ *   OLTP Oracle     — TPC-C on Oracle (largest footprint; the one workload
+ *                     that benefits from >16K BTB entries, Section 2.1)
+ *   DSS Qrys        — TPC-H decision-support queries (few request types,
+ *                     scan-heavy loops)
+ *   Media Streaming — Darwin streaming server (stream loops, few types)
+ *   Web Frontend    — Apache/SPECweb99 (densest branch mix, Table 2: 4.3)
+ *
+ * Presets are calibrated so that the measured static/dynamic branch
+ * densities land in the paper's Table 2 bands and the BTB capacity demand
+ * matches Figure 1 (most need ~16K entries; Oracle keeps improving at 32K).
+ */
+
+#ifndef CFL_WORKLOADS_SUITE_HH
+#define CFL_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/generator.hh"
+
+namespace cfl
+{
+
+/** Identifier of a workload preset. */
+enum class WorkloadId
+{
+    OltpDb2,
+    OltpOracle,
+    DssQry,
+    MediaStreaming,
+    WebFrontend,
+};
+
+/** All workloads in paper order. */
+const std::vector<WorkloadId> &allWorkloads();
+
+/** Short display name ("OLTP DB2"). */
+std::string workloadName(WorkloadId id);
+
+/** Machine-friendly name ("oltp_db2"). */
+std::string workloadSlug(WorkloadId id);
+
+/** Generator parameters for a preset. */
+WorkloadParams workloadParams(WorkloadId id);
+
+/** Generate (and cache per process) the program for a preset. Generation
+ *  is deterministic, so the cache only saves time. */
+const Program &workloadProgram(WorkloadId id);
+
+} // namespace cfl
+
+#endif // CFL_WORKLOADS_SUITE_HH

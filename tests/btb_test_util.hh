@@ -1,0 +1,26 @@
+/** @file Shared helpers for BTB unit tests. */
+
+#ifndef CFL_TESTS_BTB_TEST_UTIL_HH
+#define CFL_TESTS_BTB_TEST_UTIL_HH
+
+#include "isa/inst.hh"
+
+namespace cfl::test
+{
+
+/** Build the oracle record for a branch lookup. */
+inline DynInst
+branchAt(Addr pc, BranchKind kind = BranchKind::Uncond, bool taken = true,
+         Addr target = 0x900000)
+{
+    DynInst inst;
+    inst.pc = pc;
+    inst.kind = kind;
+    inst.taken = taken;
+    inst.target = target;
+    return inst;
+}
+
+} // namespace cfl::test
+
+#endif // CFL_TESTS_BTB_TEST_UTIL_HH

@@ -1,0 +1,83 @@
+/** @file Tests for the CACTI-calibrated area model. */
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.hh"
+#include "sim/presets.hh"
+
+using namespace cfl;
+
+TEST(AreaModel, CalibrationPointsMatchPaper)
+{
+    // Section 4.2.2: 1K-entry BTB + 64-entry victim buffer = ~9.9KB,
+    // 0.08mm²; 16K-entry second level = ~140KB, 0.6mm².
+    const double small_kb = AreaModel::conventionalBtbKb(1024, 4, 64);
+    EXPECT_NEAR(small_kb, 9.9, 1.0);
+    EXPECT_NEAR(AreaModel::mm2ForKb(small_kb), 0.08, 0.015);
+
+    const double big_kb = AreaModel::conventionalBtbKb(16 * 1024, 4, 0);
+    EXPECT_NEAR(big_kb, 140.0, 15.0);
+    EXPECT_NEAR(AreaModel::mm2ForKb(big_kb), 0.6, 0.08);
+}
+
+TEST(AreaModel, AirBtbMatchesPaperStorage)
+{
+    // Section 4.2.2: the final AirBTB design requires ~10.2KB (0.08mm²).
+    const double kb = AreaModel::airBtbKb(512, 4, 3, 32);
+    EXPECT_NEAR(kb, 10.2, 1.2);
+    EXPECT_NEAR(AreaModel::mm2ForKb(kb), 0.08, 0.015);
+}
+
+TEST(AreaModel, ShiftAmortizesAcrossCores)
+{
+    EXPECT_NEAR(AreaModel::shiftPerCoreMm2(16), 0.06, 0.001);
+    EXPECT_GT(AreaModel::shiftPerCoreMm2(4),
+              AreaModel::shiftPerCoreMm2(16));
+}
+
+TEST(AreaModel, MonotoneInCapacity)
+{
+    double prev = 0.0;
+    for (const double kb : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+        const double mm2 = AreaModel::mm2ForKb(kb);
+        EXPECT_GT(mm2, prev);
+        prev = mm2;
+    }
+    EXPECT_EQ(AreaModel::mm2ForKb(0.0), 0.0);
+}
+
+TEST(RelativeArea, MatchesFigure6Axes)
+{
+    const SystemConfig cfg = makeSystemConfig(16);
+    // Baseline normalizes to exactly 1.0.
+    EXPECT_DOUBLE_EQ(relativeArea(FrontendKind::Baseline, cfg), 1.0);
+    // FDP adds no storage.
+    EXPECT_DOUBLE_EQ(relativeArea(FrontendKind::Fdp, cfg), 1.0);
+    // Confluence: ~1% overhead (the paper's headline).
+    const double confluence = relativeArea(FrontendKind::Confluence, cfg);
+    EXPECT_GT(confluence, 1.0);
+    EXPECT_LT(confluence, 1.025);
+    // 2LevelBTB+SHIFT: ~8% overhead.
+    const double two = relativeArea(FrontendKind::TwoLevelShift, cfg);
+    EXPECT_GT(two, 1.06);
+    EXPECT_LT(two, 1.11);
+    // Ordering: Confluence is the cheapest SHIFT-based design.
+    EXPECT_LT(confluence, relativeArea(FrontendKind::IdealBtbShift, cfg));
+    EXPECT_LT(confluence, two);
+}
+
+TEST(RelativeArea, VirtualizedStructuresCostLlcNotArea)
+{
+    const SystemConfig cfg = makeSystemConfig(16);
+    double phantom_llc_kb = 0.0;
+    for (const StructureArea &s :
+         frontendStructures(FrontendKind::PhantomFdp, cfg))
+        phantom_llc_kb += s.llcKiloBytes;
+    EXPECT_NEAR(phantom_llc_kb, 256.0, 1.0);  // 4K groups * 64B
+
+    double shift_llc_kb = 0.0;
+    for (const StructureArea &s :
+         frontendStructures(FrontendKind::Confluence, cfg))
+        shift_llc_kb += s.llcKiloBytes;
+    EXPECT_NEAR(shift_llc_kb, 204.0, 10.0);  // the paper's ~204KB
+}

@@ -1,0 +1,177 @@
+/** @file Tests for AirBTB: bundles, bitmap, overflow, L1-I sync. */
+
+#include <gtest/gtest.h>
+
+#include "btb/air_btb.hh"
+#include "btb_test_util.hh"
+#include "isa/code_image.hh"
+#include "isa/predecoder.hh"
+
+using namespace cfl;
+using cfl::test::branchAt;
+
+namespace
+{
+
+/** Fixture providing a code image with one branch-rich block. */
+class AirBtbTest : public ::testing::Test
+{
+  protected:
+    AirBtbTest() : image(0x40000) {}
+
+    void
+    SetUp() override
+    {
+        // Block 0 at 0x40000: branches at indices 1, 3, 5, 7 (4 branches
+        // — overflows a 3-entry bundle by one).
+        image.append(encodeAlu());                          // 0
+        image.append(encodeDirect(BranchKind::Cond, 16));   // 1
+        image.append(encodeAlu());                          // 2
+        image.append(encodeDirect(BranchKind::Uncond, 16)); // 3
+        image.append(encodeAlu());                          // 4
+        image.append(encodeDirect(BranchKind::Call, 32));   // 5
+        image.append(encodeAlu());                          // 6
+        image.append(encodeReturn());                       // 7
+        image.padToBlockBoundary();
+        for (int i = 0; i < 64; ++i)
+            image.append(encodeAlu());
+        block = predecoder.scan(image, 0x40000);
+    }
+
+    AirBtbParams
+    params()
+    {
+        AirBtbParams p;
+        p.bundles = 16;
+        p.ways = 4;
+        p.branchEntries = 3;
+        p.overflowEntries = 4;
+        return p;
+    }
+
+    CodeImage image;
+    Predecoder predecoder;
+    PredecodedBlock block;
+};
+
+} // namespace
+
+TEST_F(AirBtbTest, BundleFillGivesHitsForAllBranches)
+{
+    AirBtb btb(params(), image, predecoder);
+    btb.onBlockFill(block, /*from_prefetch=*/true, 0);
+
+    // First three branches live in the bundle.
+    EXPECT_TRUE(btb.lookup(branchAt(0x40004, BranchKind::Cond), 1).hit);
+    EXPECT_TRUE(btb.lookup(branchAt(0x4000c, BranchKind::Uncond), 1).hit);
+    EXPECT_TRUE(btb.lookup(branchAt(0x40014, BranchKind::Call), 1).hit);
+    // The fourth spilled into the overflow buffer.
+    const auto res = btb.lookup(branchAt(0x4001c, BranchKind::Return), 1);
+    EXPECT_TRUE(res.hit);
+    EXPECT_GE(btb.stats().get("overflowHits"), 1u);
+}
+
+TEST_F(AirBtbTest, TargetsComeFromPredecode)
+{
+    AirBtb btb(params(), image, predecoder);
+    btb.onBlockFill(block, true, 0);
+    const auto res = btb.lookup(branchAt(0x40004, BranchKind::Cond), 1);
+    ASSERT_TRUE(res.hit);
+    EXPECT_EQ(res.entry.kind, BranchKind::Cond);
+    EXPECT_EQ(res.entry.target, 0x40004u + 16 * kInstBytes);
+}
+
+TEST_F(AirBtbTest, NonBranchInstructionMisses)
+{
+    AirBtb btb(params(), image, predecoder);
+    btb.onBlockFill(block, true, 0);
+    // Index 2 is an ALU instruction: the bitmap bit is clear.
+    EXPECT_FALSE(btb.lookup(branchAt(0x40008, BranchKind::Cond), 1).hit);
+    EXPECT_GE(btb.stats().get("bitmapMisses"), 1u);
+}
+
+TEST_F(AirBtbTest, SyncEvictionRemovesBundle)
+{
+    AirBtb btb(params(), image, predecoder);
+    btb.onBlockFill(block, true, 0);
+    EXPECT_EQ(btb.numBundles(), 1u);
+    btb.onBlockEvict(0x40000);
+    EXPECT_EQ(btb.numBundles(), 0u);
+    EXPECT_FALSE(btb.lookup(branchAt(0x40004, BranchKind::Cond), 1).hit);
+}
+
+TEST_F(AirBtbTest, NoPrefetchFillsWhenDisabled)
+{
+    AirBtbParams p = params();
+    p.fillFromPrefetch = false;
+    AirBtb btb(p, image, predecoder);
+    btb.onBlockFill(block, /*from_prefetch=*/true, 0);
+    EXPECT_EQ(btb.numBundles(), 0u);
+    btb.onBlockFill(block, /*from_prefetch=*/false, 0);
+    EXPECT_EQ(btb.numBundles(), 1u);
+}
+
+TEST_F(AirBtbTest, SyncModeDefersLearnsAndRequestsFill)
+{
+    AirBtb btb(params(), image, predecoder);
+    std::vector<Addr> requested;
+    btb.setFillRequest(
+        [&](Addr b, Cycle) { requested.push_back(b); });
+
+    // Learn for a block with no bundle: must defer and request the fill.
+    btb.learn(0x40004, BranchKind::Cond, 0x40044, 0);
+    EXPECT_EQ(btb.numBundles(), 0u);
+    ASSERT_EQ(requested.size(), 1u);
+    EXPECT_EQ(requested[0], 0x40000u);
+    EXPECT_EQ(btb.stats().get("learnsDeferredToFill"), 1u);
+}
+
+TEST_F(AirBtbTest, DemandModeBuildsBundlesViaLearn)
+{
+    AirBtbParams p = params();
+    p.eagerInsert = false;
+    p.fillFromPrefetch = false;
+    p.syncWithL1I = false;
+    AirBtb btb(p, image, predecoder);
+
+    // Capacity-mode: learn installs only the single branch.
+    btb.learn(0x40004, BranchKind::Cond, 0x40044, 0);
+    EXPECT_TRUE(btb.lookup(branchAt(0x40004, BranchKind::Cond), 1).hit);
+    EXPECT_FALSE(btb.lookup(branchAt(0x4000c, BranchKind::Uncond), 1).hit)
+        << "no eager insertion: sibling branches stay unknown";
+}
+
+TEST_F(AirBtbTest, EagerLearnInsertsWholeBundle)
+{
+    AirBtbParams p = params();
+    p.syncWithL1I = false;  // eager, LRU-managed (Figure 8 step 2)
+    AirBtb btb(p, image, predecoder);
+
+    btb.learn(0x40004, BranchKind::Cond, 0x40044, 0);
+    // Eager insertion predecoded the whole block: siblings hit.
+    EXPECT_TRUE(btb.lookup(branchAt(0x4000c, BranchKind::Uncond), 1).hit);
+    EXPECT_TRUE(btb.lookup(branchAt(0x40014, BranchKind::Call), 1).hit);
+}
+
+TEST_F(AirBtbTest, OverflowDisabledDropsSpills)
+{
+    AirBtbParams p = params();
+    p.overflowEntries = 0;
+    AirBtb btb(p, image, predecoder);
+    btb.onBlockFill(block, true, 0);
+    // The fourth branch has nowhere to live: it must miss.
+    EXPECT_FALSE(btb.lookup(branchAt(0x4001c, BranchKind::Return), 1).hit);
+    EXPECT_GE(btb.stats().get("overflowDropped"), 1u);
+}
+
+TEST_F(AirBtbTest, BundleGeometryMirrorsL1I)
+{
+    // Default parameters: 512 bundles, 4 ways (Section 4.2.2) — same
+    // sets/ways as a 32KB, 4-way, 64B-block L1-I.
+    AirBtbParams p;
+    EXPECT_EQ(p.bundles, 512u);
+    EXPECT_EQ(p.ways, 4u);
+    EXPECT_EQ(p.bundles / p.ways, (32u * 1024 / 64) / 4);
+    EXPECT_EQ(p.branchEntries, 3u);
+    EXPECT_EQ(p.overflowEntries, 32u);
+}

@@ -1,0 +1,94 @@
+/** @file Tests for the conventional BTB (baseline, 16K variant). */
+
+#include <gtest/gtest.h>
+
+#include "btb/conventional_btb.hh"
+#include "btb/ideal_btb.hh"
+#include "btb_test_util.hh"
+
+using namespace cfl;
+using cfl::test::branchAt;
+
+TEST(ConventionalBtb, MissLearnHit)
+{
+    ConventionalBtb btb({64, 4, 0});
+    const DynInst inst = branchAt(0x1000, BranchKind::Cond, true, 0x2000);
+    EXPECT_FALSE(btb.lookup(inst, 0).hit);
+    btb.learn(inst.pc, inst.kind, inst.target, 0);
+    const auto res = btb.lookup(inst, 1);
+    ASSERT_TRUE(res.hit);
+    EXPECT_EQ(res.entry.kind, BranchKind::Cond);
+    EXPECT_EQ(res.entry.target, 0x2000u);
+    EXPECT_EQ(res.stallCycles, 0u);
+}
+
+TEST(ConventionalBtb, VictimBufferCatchesEvictions)
+{
+    // 8 entries, 4 ways => 2 sets; fill one set beyond capacity.
+    ConventionalBtb with_victim({8, 4, 16});
+    ConventionalBtb without_victim({8, 4, 0});
+
+    // PCs mapping to the same set: stride = sets * 4B = 8 bytes.
+    std::vector<Addr> pcs;
+    for (int i = 0; i < 5; ++i)
+        pcs.push_back(0x1000 + i * 8);
+
+    for (const Addr pc : pcs) {
+        with_victim.learn(pc, BranchKind::Uncond, 0x9000, 0);
+        without_victim.learn(pc, BranchKind::Uncond, 0x9000, 0);
+    }
+    // The first pc was evicted from the 4-way set; only the victim
+    // buffer still holds it.
+    EXPECT_TRUE(with_victim.lookup(branchAt(pcs[0]), 1).hit);
+    EXPECT_FALSE(without_victim.lookup(branchAt(pcs[0]), 1).hit);
+    EXPECT_EQ(with_victim.stats().get("victimHits"), 1u);
+}
+
+TEST(ConventionalBtb, VictimHitPromotesBack)
+{
+    ConventionalBtb btb({8, 4, 16});
+    for (int i = 0; i < 5; ++i)
+        btb.learn(0x1000 + i * 8, BranchKind::Uncond, 0x9000, 0);
+    // Victim hit...
+    EXPECT_TRUE(btb.lookup(branchAt(0x1000), 1).hit);
+    // ...promotes to main: an immediate re-lookup hits in main.
+    EXPECT_TRUE(btb.lookup(branchAt(0x1000), 2).hit);
+    EXPECT_GE(btb.stats().get("mainHits"), 1u);
+}
+
+TEST(ConventionalBtb, CapacityBehaviour)
+{
+    ConventionalBtb small({16, 4, 0});
+    ConventionalBtb big({1024, 4, 0});
+    // Insert a working set of 128 branches, then re-walk it.
+    for (int round = 0; round < 2; ++round) {
+        for (int i = 0; i < 128; ++i) {
+            const Addr pc = 0x1000 + i * 4;
+            const DynInst inst = branchAt(pc);
+            if (!small.lookup(inst, 0).hit)
+                small.learn(pc, inst.kind, inst.target, 0);
+            if (!big.lookup(inst, 0).hit)
+                big.learn(pc, inst.kind, inst.target, 0);
+        }
+    }
+    // The big BTB captures the working set on the second pass.
+    EXPECT_GT(big.stats().get("mainHits"),
+              small.stats().get("mainHits"));
+    EXPECT_EQ(big.size(), 128u);
+}
+
+TEST(PerfectBtb, AlwaysHitsWithOracleData)
+{
+    PerfectBtb btb;
+    const DynInst cond = branchAt(0x1234, BranchKind::Cond, true, 0x9000);
+    const auto res = btb.lookup(cond, 0);
+    ASSERT_TRUE(res.hit);
+    EXPECT_EQ(res.entry.kind, BranchKind::Cond);
+    EXPECT_EQ(res.entry.target, 0x9000u);
+
+    const DynInst ret = branchAt(0x5678, BranchKind::Return, true, 0x4444);
+    const auto res2 = btb.lookup(ret, 0);
+    ASSERT_TRUE(res2.hit);
+    // Return targets come from the RAS, not the BTB entry.
+    EXPECT_EQ(res2.entry.target, 0u);
+}

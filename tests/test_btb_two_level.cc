@@ -1,0 +1,80 @@
+/** @file Tests for the two-level hierarchical BTB. */
+
+#include <gtest/gtest.h>
+
+#include "btb/two_level_btb.hh"
+#include "btb_test_util.hh"
+
+using namespace cfl;
+using cfl::test::branchAt;
+
+namespace
+{
+
+TwoLevelBtbParams
+smallParams()
+{
+    TwoLevelBtbParams p;
+    p.l1Entries = 8;
+    p.l1Ways = 4;
+    p.l2Entries = 64;
+    p.l2Ways = 4;
+    p.l2Latency = 4;
+    return p;
+}
+
+} // namespace
+
+TEST(TwoLevelBtb, L1HitHasNoStall)
+{
+    TwoLevelBtb btb(smallParams());
+    btb.learn(0x1000, BranchKind::Uncond, 0x9000, 0);
+    const auto res = btb.lookup(branchAt(0x1000), 1);
+    ASSERT_TRUE(res.hit);
+    EXPECT_EQ(res.stallCycles, 0u);
+}
+
+TEST(TwoLevelBtb, L2HitExposesLatencyAndPromotes)
+{
+    TwoLevelBtb btb(smallParams());
+    // Fill the L1 set of 0x1000 with conflicting entries so 0x1000 is
+    // evicted from L1 but survives in the larger L2.
+    btb.learn(0x1000, BranchKind::Uncond, 0x9000, 0);
+    for (int i = 1; i <= 4; ++i)
+        btb.learn(0x1000 + i * 8, BranchKind::Uncond, 0x9000, 0);
+
+    const auto res = btb.lookup(branchAt(0x1000), 10);
+    ASSERT_TRUE(res.hit);
+    EXPECT_EQ(res.stallCycles, 4u) << "L2 access latency must be exposed";
+    EXPECT_EQ(btb.stats().get("l2Hits"), 1u);
+
+    // The entry was promoted: next lookup hits in L1 with no stall.
+    const auto res2 = btb.lookup(branchAt(0x1000), 11);
+    ASSERT_TRUE(res2.hit);
+    EXPECT_EQ(res2.stallCycles, 0u);
+}
+
+TEST(TwoLevelBtb, BothLevelsMiss)
+{
+    TwoLevelBtb btb(smallParams());
+    const auto res = btb.lookup(branchAt(0x4000), 0);
+    EXPECT_FALSE(res.hit);
+    EXPECT_EQ(res.stallCycles, 0u)
+        << "a full miss exposes no L2 stall (nothing to wait for)";
+    EXPECT_EQ(btb.stats().get("lookupMisses"), 1u);
+}
+
+TEST(TwoLevelBtb, L2RetainsLargerWorkingSet)
+{
+    TwoLevelBtb btb(smallParams());
+    for (int i = 0; i < 32; ++i)
+        btb.learn(0x1000 + i * 4, BranchKind::Uncond, 0x9000, 0);
+    // All 32 fit in the 64-entry L2; only 8 fit in L1.
+    unsigned hits = 0;
+    for (int i = 0; i < 32; ++i) {
+        if (btb.lookup(branchAt(0x1000 + i * 4), 100).hit)
+            ++hits;
+    }
+    EXPECT_EQ(hits, 32u);
+    EXPECT_GT(btb.stats().get("l2Hits"), 0u);
+}

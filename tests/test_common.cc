@@ -1,0 +1,156 @@
+/** @file Unit tests for the common infrastructure. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitops.hh"
+#include "common/report.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+using namespace cfl;
+
+TEST(Types, BlockAlignment)
+{
+    EXPECT_EQ(blockAlign(0x1000), 0x1000u);
+    EXPECT_EQ(blockAlign(0x103f), 0x1000u);
+    EXPECT_EQ(blockAlign(0x1040), 0x1040u);
+    EXPECT_EQ(blockOffset(0x1004), 4u);
+    EXPECT_EQ(instIndexInBlock(0x1004), 1u);
+    EXPECT_EQ(instIndexInBlock(0x103c), 15u);
+    EXPECT_TRUE(isInstAligned(0x1004));
+    EXPECT_FALSE(isInstAligned(0x1002));
+}
+
+TEST(Bitops, PowersAndLogs)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(48));
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+}
+
+TEST(Bitops, BitsAndMasks)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffull);
+    EXPECT_EQ(mask(4), 0xfull);
+    EXPECT_EQ(mask(0), 0ull);
+    EXPECT_EQ(signExtend(0x3ffffff, 26), -1);
+    EXPECT_EQ(signExtend(0x1, 26), 1);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_EQ(a.next(), b.next());
+    Rng a2(42);
+    EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        const auto v = rng.nextRange(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(Rng, ZipfSkewsLow)
+{
+    Rng rng(3);
+    Counter low = 0, total = 20000;
+    for (Counter i = 0; i < total; ++i) {
+        if (rng.nextZipf(100, 1.0) < 10)
+            ++low;
+    }
+    // With skew 1.0 the first 10% of values get far more than 10%.
+    EXPECT_GT(low, total / 4);
+}
+
+TEST(Rng, HashMixAvalanche)
+{
+    // Flipping one input bit should flip many output bits.
+    const std::uint64_t a = hashMix(0x1234);
+    const std::uint64_t b = hashMix(0x1235);
+    EXPECT_GE(__builtin_popcountll(a ^ b), 16);
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Stats, ScalarBasics)
+{
+    StatSet set("unit");
+    set.scalar("a").inc();
+    set.scalar("a").inc(4);
+    EXPECT_EQ(set.get("a"), 5u);
+    EXPECT_EQ(set.get("missing"), 0u);
+    EXPECT_TRUE(set.has("a"));
+    EXPECT_FALSE(set.has("missing"));
+    set.scalar("b").inc(10);
+    EXPECT_DOUBLE_EQ(set.ratio("a", "b"), 0.5);
+    set.resetAll();
+    EXPECT_EQ(set.get("a"), 0u);
+}
+
+TEST(Stats, RatioZeroDenominator)
+{
+    StatSet set("unit");
+    set.scalar("num").inc(3);
+    EXPECT_DOUBLE_EQ(set.ratio("num", "zero"), 0.0);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    Histogram h(4, 10);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(40);  // overflow
+    EXPECT_EQ(h.totalSamples(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_NEAR(h.mean(), (0 + 9 + 10 + 39 + 40) / 5.0, 1e-9);
+}
+
+TEST(Report, RendersAllRows)
+{
+    Report r("Title", {"col1", "col2"});
+    r.addRow({"a", "b"});
+    r.addRow({"long-cell", "x"});
+    const std::string out = r.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("long-cell"), std::string::npos);
+    EXPECT_NE(out.find("col2"), std::string::npos);
+}
+
+TEST(Report, Formatters)
+{
+    EXPECT_EQ(Report::num(1.2345, 2), "1.23");
+    EXPECT_EQ(Report::pct(0.931, 1), "93.1%");
+    EXPECT_EQ(Report::ratio(1.3, 2), "1.30x");
+}

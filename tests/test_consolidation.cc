@@ -1,0 +1,104 @@
+/** @file Tests for SHIFT workload-consolidation support (Section 3.4). */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/consolidation.hh"
+
+using namespace cfl;
+
+namespace
+{
+
+struct Env
+{
+    Env() : llc(LlcParams{}), dir(ShiftParams{}, llc) {}
+    Llc llc;
+    HistoryDirectory dir;
+};
+
+} // namespace
+
+TEST(Consolidation, InstancesArePerWorkload)
+{
+    Env env;
+    ShiftHistory &a = env.dir.registerWorkload("oltp");
+    ShiftHistory &b = env.dir.registerWorkload("web");
+    EXPECT_NE(&a, &b);
+    EXPECT_EQ(env.dir.numWorkloads(), 2u);
+    EXPECT_TRUE(env.dir.has("oltp"));
+    EXPECT_FALSE(env.dir.has("dss"));
+
+    a.record(0x1000);
+    EXPECT_TRUE(a.lookup(0x1000).has_value());
+    EXPECT_FALSE(b.lookup(0x1000).has_value())
+        << "history instances must be isolated per workload";
+}
+
+TEST(Consolidation, ReregistrationReturnsSameInstance)
+{
+    Env env;
+    ShiftHistory &a1 = env.dir.registerWorkload("oltp");
+    ShiftHistory &a2 = env.dir.registerWorkload("oltp");
+    EXPECT_EQ(&a1, &a2);
+    EXPECT_EQ(env.dir.numWorkloads(), 1u);
+}
+
+TEST(Consolidation, EachInstanceReservesLlcCapacity)
+{
+    Env env;
+    const auto before = env.llc.cache().capacityBytes();
+    env.dir.registerWorkload("oltp");
+    const auto after_one = env.llc.cache().capacityBytes();
+    env.dir.registerWorkload("web");
+    const auto after_two = env.llc.cache().capacityBytes();
+
+    const ShiftParams params;
+    EXPECT_EQ(before - after_one, params.historyLlcBytes());
+    EXPECT_EQ(after_one - after_two, params.historyLlcBytes());
+    EXPECT_EQ(env.dir.reservedBytes(), 2 * params.historyLlcBytes());
+}
+
+TEST(Consolidation, SingleRecorderPerWorkload)
+{
+    Env env;
+    env.dir.registerWorkload("oltp");
+    env.dir.registerWorkload("web");
+    EXPECT_TRUE(env.dir.claimRecorder("oltp", 0));
+    EXPECT_FALSE(env.dir.claimRecorder("oltp", 1))
+        << "only the first core of a workload records";
+    EXPECT_TRUE(env.dir.claimRecorder("oltp", 0)) << "idempotent";
+    EXPECT_TRUE(env.dir.claimRecorder("web", 1))
+        << "a different workload gets its own recorder";
+}
+
+TEST(Consolidation, ConsolidatedEnginesPrefetchIndependently)
+{
+    // Two workloads' engines sharing one LLC but separate histories:
+    // each replays only its own stream.
+    Env env;
+    ShiftParams params;
+    ShiftHistory &oltp = env.dir.registerWorkload("oltp");
+    ShiftHistory &web = env.dir.registerWorkload("web");
+
+    InstMemory mem_oltp(InstMemoryParams{}, env.llc);
+    InstMemory mem_web(InstMemoryParams{}, env.llc);
+    ShiftEngine eng_oltp(params, oltp, mem_oltp, true);
+    ShiftEngine eng_web(params, web, mem_web, true);
+
+    for (int i = 0; i < 8; ++i)
+        eng_oltp.onDemandAccess(0x100000 + i * 0x40ull, 10 + i);
+    for (int i = 0; i < 8; ++i)
+        eng_web.onDemandAccess(0x900000 + i * 0x40ull, 10 + i);
+
+    for (int i = 0; i < 8; ++i) {
+        mem_oltp.l1i().invalidate(0x100000 + i * 0x40ull);
+        mem_web.l1i().invalidate(0x900000 + i * 0x40ull);
+    }
+
+    // Each redirects on its own stream...
+    eng_oltp.onDemandMiss(0x100000, 1000);
+    EXPECT_TRUE(mem_oltp.residentOrInFlight(0x100040));
+    // ...and knows nothing about the other's.
+    eng_oltp.onDemandMiss(0x900000, 2000);
+    EXPECT_EQ(eng_oltp.stats().get("indexMisses"), 1u);
+}

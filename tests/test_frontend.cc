@@ -1,0 +1,107 @@
+/** @file Tests for the cycle-level front-end pipeline model. */
+
+#include <gtest/gtest.h>
+
+#include "confluence/cmp.hh"
+#include "sim/presets.hh"
+
+using namespace cfl;
+
+namespace
+{
+
+CmpMetrics
+runKind(FrontendKind kind, Counter warmup = 60000, Counter measure = 60000)
+{
+    SystemConfig cfg = makeSystemConfig(1);
+    Cmp cmp(kind, WorkloadId::DssQry, cfg);
+    return cmp.run(warmup, measure);
+}
+
+} // namespace
+
+TEST(Frontend, RetiresExactlyTheTarget)
+{
+    SystemConfig cfg = makeSystemConfig(1);
+    Cmp cmp(FrontendKind::Baseline, WorkloadId::DssQry, cfg);
+    const CmpMetrics m = cmp.run(10000, 50000);
+    ASSERT_EQ(m.cores.size(), 1u);
+    // The backend retires up to 3 per cycle, so the overshoot past the
+    // target is at most retireWidth - 1.
+    EXPECT_GE(m.cores[0].retired, 50000u);
+    EXPECT_LE(m.cores[0].retired, 50000u + 2);
+    EXPECT_GT(m.cores[0].cycles, 0u);
+}
+
+TEST(Frontend, IpcBoundedByBackend)
+{
+    const CmpMetrics m = runKind(FrontendKind::Ideal);
+    // Backend ceiling: burstInsts / (burstInsts/retireWidth + stall).
+    const FrontendParams p;
+    const double ceiling =
+        static_cast<double>(p.burstInsts) /
+        (static_cast<double>(p.burstInsts) / p.retireWidth +
+         p.dataStallCycles);
+    EXPECT_LE(m.meanIpc(), ceiling + 1e-9);
+    EXPECT_GT(m.meanIpc(), 0.3);
+}
+
+TEST(Frontend, IdealIsFastest)
+{
+    const double ideal = runKind(FrontendKind::Ideal).meanIpc();
+    const double base = runKind(FrontendKind::Baseline).meanIpc();
+    const double confluence = runKind(FrontendKind::Confluence).meanIpc();
+    EXPECT_GT(ideal, base);
+    EXPECT_GT(ideal, confluence);
+    EXPECT_GT(confluence, base);
+}
+
+TEST(Frontend, PerfectFrontendHasNoMisses)
+{
+    const CmpMetrics m = runKind(FrontendKind::Ideal);
+    EXPECT_EQ(m.cores[0].btbTakenMisses, 0u);
+    EXPECT_EQ(m.cores[0].l1iDemandMisses, 0u);
+    EXPECT_EQ(m.cores[0].misfetches, 0u);
+}
+
+TEST(Frontend, ShiftCutsInstructionMisses)
+{
+    const CmpMetrics fdp = runKind(FrontendKind::Fdp);
+    const CmpMetrics shift = runKind(FrontendKind::TwoLevelShift);
+    EXPECT_LT(shift.meanL1iMpki(), fdp.meanL1iMpki());
+}
+
+TEST(Frontend, TwoLevelExposesSecondLevelStalls)
+{
+    const CmpMetrics two = runKind(FrontendKind::TwoLevelShift);
+    EXPECT_GT(two.cores[0].btbL2StallCycles, 0u);
+    const CmpMetrics conf = runKind(FrontendKind::Confluence);
+    EXPECT_EQ(conf.cores[0].btbL2StallCycles, 0u)
+        << "Confluence has no second BTB level to stall on";
+}
+
+TEST(Cmp, MultiCoreRunsAllCores)
+{
+    SystemConfig cfg = makeSystemConfig(2);
+    Cmp cmp(FrontendKind::Confluence, WorkloadId::DssQry, cfg);
+    const CmpMetrics m = cmp.run(20000, 30000);
+    ASSERT_EQ(m.cores.size(), 2u);
+    for (const CoreMetrics &c : m.cores) {
+        EXPECT_GE(c.retired, 30000u);
+        EXPECT_GT(c.ipc(), 0.0);
+    }
+    EXPECT_EQ(m.totalRetired(), m.cores[0].retired + m.cores[1].retired);
+}
+
+TEST(Cmp, MetricsAggregation)
+{
+    CmpMetrics m;
+    CoreMetrics a, b;
+    a.retired = 1000;
+    a.cycles = 1000;
+    b.retired = 1000;
+    b.cycles = 2000;
+    m.cores = {a, b};
+    EXPECT_DOUBLE_EQ(m.meanIpc(), (1.0 + 0.5) / 2);
+    EXPECT_EQ(m.totalRetired(), 2000u);
+}

@@ -1,0 +1,117 @@
+/**
+ * @file Cross-module integration tests: whole-CMP scenarios exercising
+ * the public API end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "confluence/cmp.hh"
+#include "sim/experiment.hh"
+
+using namespace cfl;
+
+TEST(Integration, TimingSimulationIsDeterministic)
+{
+    SystemConfig cfg = makeSystemConfig(1);
+    Cmp a(FrontendKind::Confluence, WorkloadId::MediaStreaming, cfg);
+    Cmp b(FrontendKind::Confluence, WorkloadId::MediaStreaming, cfg);
+    const CmpMetrics ma = a.run(50000, 50000);
+    const CmpMetrics mb = b.run(50000, 50000);
+    EXPECT_EQ(ma.cores[0].cycles, mb.cores[0].cycles);
+    EXPECT_EQ(ma.cores[0].btbTakenMisses, mb.cores[0].btbTakenMisses);
+    EXPECT_EQ(ma.cores[0].l1iDemandMisses, mb.cores[0].l1iDemandMisses);
+}
+
+TEST(Integration, SharedLlcWarmsAcrossCores)
+{
+    // Cores run the same binary: once core 0 pulled the hot code into
+    // the shared LLC, other cores' L1-I misses should mostly hit there.
+    SystemConfig cfg = makeSystemConfig(2);
+    Cmp cmp(FrontendKind::Baseline, WorkloadId::DssQry, cfg);
+    cmp.run(80000, 80000);
+    const StatSet &mem1 = cmp.core(1).mem().stats();
+    const Counter from_llc = mem1.get("fillsFromLlc");
+    const Counter from_memory = mem1.get("fillsFromMemory");
+    EXPECT_GT(from_llc, 10 * std::max<Counter>(from_memory, 1));
+}
+
+TEST(Integration, SharedShiftHistoryServesSecondCore)
+{
+    // Core 0 is the history generator; core 1 must still get most of
+    // its instruction blocks prefetched (Section 3.4 sharing).
+    SystemConfig cfg = makeSystemConfig(2);
+    Cmp cmp(FrontendKind::TwoLevelShift, WorkloadId::OltpDb2, cfg);
+    const CmpMetrics m = cmp.run(150000, 100000);
+    // Both cores end up with low L1-I MPKI.
+    for (const CoreMetrics &c : m.cores)
+        EXPECT_LT(c.l1iMpki(), 15.0);
+    // And the reader core issued prefetches from the shared history.
+    EXPECT_GT(cmp.core(1).prefetcher()->stats().get("issued"), 100u);
+}
+
+TEST(Integration, PhantomSharesVirtualizedSecondLevel)
+{
+    SystemConfig cfg = makeSystemConfig(2);
+    Cmp cmp(FrontendKind::PhantomFdp, WorkloadId::OltpDb2, cfg);
+    cmp.run(100000, 100000);
+    // Both cores trigger group prefetches out of the shared table.
+    for (unsigned c = 0; c < 2; ++c) {
+        EXPECT_GT(cmp.core(c).btb().stats().get("groupTriggers"), 0u)
+            << "core " << c;
+    }
+}
+
+TEST(Integration, ReservationsShrinkUsableLlc)
+{
+    // Confluence reserves SHIFT history capacity in the LLC; the same
+    // workload should see slightly more LLC pressure than the baseline.
+    SystemConfig cfg = makeSystemConfig(1);
+    Cmp with(FrontendKind::Confluence, WorkloadId::OltpDb2, cfg);
+    Cmp without(FrontendKind::Baseline, WorkloadId::OltpDb2, cfg);
+    EXPECT_LT(with.llc().cache().capacityBytes(),
+              without.llc().cache().capacityBytes());
+}
+
+TEST(Integration, AllDesignPointsRunAllWorkloads)
+{
+    // Smoke coverage of the full (design x workload) matrix at tiny
+    // scale: everything must run to completion without tripping any
+    // internal invariant (cfl_assert aborts on violation).
+    SystemConfig cfg = makeSystemConfig(1);
+    for (const FrontendKind kind :
+         {FrontendKind::Baseline, FrontendKind::Fdp,
+          FrontendKind::PhantomFdp, FrontendKind::TwoLevelFdp,
+          FrontendKind::PhantomShift, FrontendKind::TwoLevelShift,
+          FrontendKind::IdealBtbShift, FrontendKind::Confluence,
+          FrontendKind::Ideal}) {
+        for (const WorkloadId wl : allWorkloads()) {
+            Cmp cmp(kind, wl, cfg);
+            const CmpMetrics m = cmp.run(5000, 10000);
+            ASSERT_GE(m.cores[0].retired, 10000u)
+                << frontendKindName(kind) << " on " << workloadName(wl);
+        }
+    }
+}
+
+TEST(Integration, SixteenCorePaperConfigSmoke)
+{
+    // The paper's full 16-core CMP, briefly.
+    SystemConfig cfg = paperSystemConfig();
+    Cmp cmp(FrontendKind::Confluence, WorkloadId::WebFrontend, cfg);
+    const CmpMetrics m = cmp.run(4000, 8000);
+    ASSERT_EQ(m.cores.size(), 16u);
+    for (const CoreMetrics &c : m.cores)
+        EXPECT_GE(c.retired, 8000u);
+}
+
+TEST(Integration, WarmupImprovesMeasuredIpc)
+{
+    // Cold-start measurement must be slower than a warmed one: the
+    // SimFlex-style warmup the harness performs matters.
+    SystemConfig cfg = makeSystemConfig(1);
+    Cmp cold(FrontendKind::Baseline, WorkloadId::OltpDb2, cfg);
+    Cmp warm(FrontendKind::Baseline, WorkloadId::OltpDb2, cfg);
+    const double cold_ipc = cold.run(0, 60000).meanIpc();
+    const double warm_ipc = warm.run(400000, 60000).meanIpc();
+    EXPECT_GT(warm_ipc, cold_ipc);
+}

@@ -1,0 +1,154 @@
+/** @file Unit tests for the ISA: encoding, code image, predecoder. */
+
+#include <gtest/gtest.h>
+
+#include "isa/code_image.hh"
+#include "isa/inst.hh"
+#include "isa/predecoder.hh"
+
+using namespace cfl;
+
+TEST(Inst, EncodeDecodeRoundTrip)
+{
+    for (const BranchKind kind :
+         {BranchKind::Cond, BranchKind::Uncond, BranchKind::Call}) {
+        for (const std::int64_t disp : {-1000000ll, -1ll, 1ll, 12345ll}) {
+            const InstWord w = encodeDirect(kind, disp);
+            EXPECT_EQ(decodeKind(w), kind);
+            EXPECT_EQ(decodeDispInsts(w), disp);
+        }
+    }
+    EXPECT_EQ(decodeKind(encodeAlu()), BranchKind::None);
+    EXPECT_EQ(decodeKind(encodeReturn()), BranchKind::Return);
+    EXPECT_EQ(decodeKind(encodeIndirect(BranchKind::IndJump, 7)),
+              BranchKind::IndJump);
+    EXPECT_EQ(decodeKind(encodeIndirect(BranchKind::IndCall, 7)),
+              BranchKind::IndCall);
+}
+
+TEST(Inst, DirectTargetArithmetic)
+{
+    const Addr pc = 0x10000;
+    EXPECT_EQ(directTarget(pc, encodeDirect(BranchKind::Uncond, 4)),
+              pc + 16);
+    EXPECT_EQ(directTarget(pc, encodeDirect(BranchKind::Cond, -2)),
+              pc - 8);
+}
+
+TEST(Inst, KindPredicates)
+{
+    EXPECT_FALSE(isBranch(BranchKind::None));
+    EXPECT_TRUE(isBranch(BranchKind::Cond));
+    EXPECT_FALSE(isAlwaysTaken(BranchKind::Cond));
+    EXPECT_TRUE(isAlwaysTaken(BranchKind::Return));
+    EXPECT_TRUE(isCall(BranchKind::Call));
+    EXPECT_TRUE(isCall(BranchKind::IndCall));
+    EXPECT_FALSE(isCall(BranchKind::IndJump));
+    EXPECT_TRUE(usesRas(BranchKind::Return));
+    EXPECT_TRUE(usesIndirectPredictor(BranchKind::IndJump));
+    EXPECT_TRUE(hasDirectTarget(BranchKind::Call));
+    EXPECT_FALSE(hasDirectTarget(BranchKind::Return));
+}
+
+TEST(Inst, BtbClassMapping)
+{
+    EXPECT_EQ(btbClassOf(BranchKind::Cond), BtbBranchClass::Conditional);
+    EXPECT_EQ(btbClassOf(BranchKind::Uncond),
+              BtbBranchClass::Unconditional);
+    EXPECT_EQ(btbClassOf(BranchKind::Call), BtbBranchClass::Unconditional);
+    EXPECT_EQ(btbClassOf(BranchKind::IndCall), BtbBranchClass::Indirect);
+    EXPECT_EQ(btbClassOf(BranchKind::Return), BtbBranchClass::Return);
+}
+
+TEST(DynInst, NextPcSemantics)
+{
+    DynInst inst;
+    inst.pc = 0x2000;
+    inst.kind = BranchKind::Cond;
+    inst.taken = false;
+    inst.target = 0x3000;
+    EXPECT_EQ(inst.nextPc(), 0x2004u);
+    inst.taken = true;
+    EXPECT_EQ(inst.nextPc(), 0x3000u);
+    EXPECT_EQ(inst.fallThrough(), 0x2004u);
+}
+
+TEST(CodeImage, AppendAndFetch)
+{
+    CodeImage img(0x40000);
+    const Addr a0 = img.append(encodeAlu());
+    const Addr a1 = img.append(encodeDirect(BranchKind::Uncond, -1));
+    EXPECT_EQ(a0, 0x40000u);
+    EXPECT_EQ(a1, 0x40004u);
+    EXPECT_EQ(decodeKind(img.at(a1)), BranchKind::Uncond);
+    EXPECT_TRUE(img.contains(a0));
+    EXPECT_FALSE(img.contains(a1 + 4));
+    EXPECT_EQ(img.numInsts(), 2u);
+}
+
+TEST(CodeImage, PadToBlockBoundary)
+{
+    CodeImage img(0x40000);
+    img.append(encodeAlu());
+    img.padToBlockBoundary();
+    EXPECT_EQ(img.numInsts(), kInstsPerBlock);
+    EXPECT_EQ(blockOffset(img.limit()), 0u);
+    img.padToBlockBoundary();  // already aligned: no-op
+    EXPECT_EQ(img.numInsts(), kInstsPerBlock);
+}
+
+TEST(CodeImage, Patch)
+{
+    CodeImage img(0x40000);
+    const Addr a = img.append(encodeDirect(BranchKind::Cond, 0));
+    img.patch(a, encodeDirect(BranchKind::Cond, 5));
+    EXPECT_EQ(decodeDispInsts(img.at(a)), 5);
+}
+
+TEST(Predecoder, FindsAllBranchesInBlock)
+{
+    CodeImage img(0x40000);
+    img.append(encodeAlu());                              // 0
+    img.append(encodeDirect(BranchKind::Cond, 8));        // 1
+    img.append(encodeAlu());                              // 2
+    img.append(encodeDirect(BranchKind::Call, 100));      // 3
+    img.append(encodeReturn());                           // 4
+    img.append(encodeIndirect(BranchKind::IndJump));      // 5
+    img.padToBlockBoundary();
+    // Extend the image so direct targets stay in range.
+    for (int i = 0; i < 200; ++i)
+        img.append(encodeAlu());
+
+    Predecoder pre;
+    const PredecodedBlock block = pre.scan(img, 0x40000);
+    ASSERT_EQ(block.numBranches(), 4u);
+    EXPECT_EQ(block.branchBitmap,
+              (1u << 1) | (1u << 3) | (1u << 4) | (1u << 5));
+
+    EXPECT_EQ(block.branches[0].instIndex, 1);
+    EXPECT_EQ(block.branches[0].kind, BranchKind::Cond);
+    EXPECT_EQ(block.branches[0].target, 0x40004u + 8 * 4);
+
+    EXPECT_EQ(block.branches[1].kind, BranchKind::Call);
+    EXPECT_EQ(block.branches[2].kind, BranchKind::Return);
+    EXPECT_EQ(block.branches[2].target, 0u);  // RAS-provided
+    EXPECT_EQ(block.branches[3].kind, BranchKind::IndJump);
+}
+
+TEST(Predecoder, PartialTrailingBlock)
+{
+    CodeImage img(0x40000);
+    img.append(encodeReturn());
+    // Only one instruction: the rest of the block is outside the image.
+    Predecoder pre;
+    const PredecodedBlock block = pre.scan(img, 0x40000);
+    EXPECT_EQ(block.numBranches(), 1u);
+    EXPECT_EQ(block.branchBitmap, 1u);
+}
+
+TEST(Predecoder, BranchPcHelper)
+{
+    PredecodedBranch br;
+    br.instIndex = 3;
+    EXPECT_EQ(br.pcIn(0x40000), 0x4000cu);
+}

@@ -1,0 +1,200 @@
+/** @file Tests for FDP and SHIFT. */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/fdp.hh"
+#include "prefetch/shift.hh"
+
+using namespace cfl;
+
+namespace
+{
+
+struct MemEnv
+{
+    MemEnv() : llc(LlcParams{}), mem(InstMemoryParams{}, llc) {}
+    Llc llc;
+    InstMemory mem;
+};
+
+} // namespace
+
+TEST(Fdp, PrefetchesEnqueuedRegionBlocks)
+{
+    MemEnv env;
+    FdpPrefetcher fdp(env.mem);
+    // Confident prefetcher (no unresolved branches ahead).
+    fdp.onFetchRegion({0x8000, 0x8040}, /*unresolved=*/0, /*now=*/10);
+    EXPECT_TRUE(env.mem.residentOrInFlight(0x8000));
+    EXPECT_TRUE(env.mem.residentOrInFlight(0x8040));
+    EXPECT_EQ(fdp.stats().get("issued"), 2u);
+}
+
+TEST(Fdp, SkipsResidentBlocks)
+{
+    MemEnv env;
+    FdpPrefetcher fdp(env.mem);
+    env.mem.demandFetch(0x8000, 1);
+    fdp.onFetchRegion({0x8000}, 0, 10);
+    EXPECT_EQ(fdp.stats().get("issued"), 0u);
+}
+
+TEST(Fdp, ErrorFeedbackMovesEstimate)
+{
+    MemEnv env;
+    FdpPrefetcher fdp(env.mem);
+    const double initial = fdp.errorRate();
+    for (int i = 0; i < 20000; ++i)
+        fdp.onBranchOutcome(1, 0);  // perfect prediction stream
+    EXPECT_LT(fdp.errorRate(), initial / 2);
+
+    for (int i = 0; i < 20000; ++i)
+        fdp.onBranchOutcome(1, 1);  // always wrong
+    EXPECT_GT(fdp.errorRate(), 0.5);
+}
+
+TEST(Fdp, DeepSpeculationSuppressed)
+{
+    MemEnv env;
+    FdpPrefetcher fdp(env.mem);
+    // Train a high error rate, then check deep-lookahead suppression.
+    for (int i = 0; i < 20000; ++i)
+        fdp.onBranchOutcome(2, 1);
+    for (int i = 0; i < 200; ++i) {
+        fdp.onFetchRegion({blockAlign(0x100000 + i * 64ull)},
+                          /*unresolved=*/12, 10);
+    }
+    EXPECT_GT(fdp.stats().get("wrongPathSuppressed"), 100u);
+}
+
+TEST(ShiftHistory, RecordDedupAndLookup)
+{
+    ShiftParams params;
+    params.historyEntries = 64;
+    ShiftHistory hist(params);
+    hist.record(0x1000);
+    hist.record(0x1000);  // consecutive duplicate: elided
+    hist.record(0x1040);
+    EXPECT_EQ(hist.head(), 2u);
+
+    const auto pos = hist.lookup(0x1000);
+    ASSERT_TRUE(pos.has_value());
+    EXPECT_EQ(*pos, 0u);
+    EXPECT_EQ(hist.at(*pos), 0x1000u);
+    EXPECT_FALSE(hist.lookup(0x9999).has_value());
+}
+
+TEST(ShiftHistory, WrapInvalidatesOldPositions)
+{
+    ShiftParams params;
+    params.historyEntries = 8;
+    ShiftHistory hist(params);
+    hist.record(0xaa00);
+    for (int i = 1; i <= 8; ++i)
+        hist.record(0xbb00 + i * 0x40ull);
+    // 0xaa00's position fell out of the circular buffer.
+    EXPECT_FALSE(hist.lookup(0xaa00).has_value());
+    EXPECT_FALSE(hist.inReach(0));
+    EXPECT_TRUE(hist.inReach(hist.head() - 1));
+}
+
+TEST(ShiftEngine, ReplaysRecordedStream)
+{
+    MemEnv env;
+    ShiftParams params;
+    params.historyEntries = 1024;
+    params.streamDepth = 4;
+    params.historyReadLatency = 20;
+    ShiftHistory hist(params);
+    ShiftEngine shift(params, hist, env.mem, /*recorder=*/true);
+
+    // First pass records the stream A,B,C,D,E via demand accesses.
+    const std::vector<Addr> stream = {0x10000, 0x10040, 0x10080,
+                                      0x100c0, 0x10100};
+    for (const Addr b : stream)
+        shift.onDemandAccess(b, 100);
+
+    // Evict everything so the second pass misses again.
+    for (const Addr b : stream)
+        env.mem.l1i().invalidate(b);
+
+    // Second pass: a miss on A redirects the stream and prefetches the
+    // successors B,C,D,E.
+    shift.onDemandMiss(stream[0], 1000);
+    EXPECT_GT(shift.outstanding(), 0u);
+    for (std::size_t i = 1; i < stream.size(); ++i) {
+        EXPECT_TRUE(env.mem.residentOrInFlight(stream[i]))
+            << "successor " << i << " not prefetched";
+    }
+    EXPECT_EQ(shift.stats().get("redirects"), 1u);
+}
+
+TEST(ShiftEngine, ConfirmationsAdvanceStream)
+{
+    MemEnv env;
+    ShiftParams params;
+    params.historyEntries = 1024;
+    params.streamDepth = 2;  // shallow: must advance via confirmations
+    ShiftHistory hist(params);
+    ShiftEngine shift(params, hist, env.mem, true);
+
+    std::vector<Addr> stream;
+    for (int i = 0; i < 10; ++i)
+        stream.push_back(0x20000 + i * 0x40ull);
+    for (const Addr b : stream)
+        shift.onDemandAccess(b, 100);
+    for (const Addr b : stream)
+        env.mem.l1i().invalidate(b);
+
+    shift.onDemandMiss(stream[0], 1000);
+    // Depth 2: only the next two are in flight.
+    EXPECT_TRUE(env.mem.residentOrInFlight(stream[1]));
+    EXPECT_FALSE(env.mem.residentOrInFlight(stream[4]));
+
+    // Confirmations walk the stream forward.
+    shift.onDemandAccess(stream[1], 1010);
+    shift.onDemandAccess(stream[2], 1020);
+    EXPECT_TRUE(env.mem.residentOrInFlight(stream[4]));
+    EXPECT_GE(shift.stats().get("confirmed"), 2u);
+}
+
+TEST(ShiftEngine, NonRecorderDoesNotWriteHistory)
+{
+    MemEnv env;
+    ShiftParams params;
+    ShiftHistory hist(params);
+    ShiftEngine reader(params, hist, env.mem, /*recorder=*/false);
+    reader.onDemandAccess(0x30000, 1);
+    EXPECT_EQ(hist.head(), 0u);
+}
+
+TEST(ShiftEngine, SharedHistoryAcrossEngines)
+{
+    // Core 0 records; core 1 replays the same workload's stream.
+    MemEnv env0, env1;
+    ShiftParams params;
+    params.historyEntries = 1024;
+    params.streamDepth = 4;
+    ShiftHistory hist(params);
+    ShiftEngine recorder(params, hist, env0.mem, true);
+    ShiftEngine reader(params, hist, env1.mem, false);
+
+    const std::vector<Addr> stream = {0x40000, 0x40040, 0x40080, 0x400c0};
+    for (const Addr b : stream)
+        recorder.onDemandAccess(b, 10);
+
+    reader.onDemandMiss(stream[0], 500);
+    for (std::size_t i = 1; i < stream.size(); ++i)
+        EXPECT_TRUE(env1.mem.residentOrInFlight(stream[i]));
+}
+
+TEST(ShiftEngine, IndexMissDeactivates)
+{
+    MemEnv env;
+    ShiftParams params;
+    ShiftHistory hist(params);
+    ShiftEngine shift(params, hist, env.mem, true);
+    shift.onDemandMiss(0xdead0040, 5);
+    EXPECT_EQ(shift.stats().get("indexMisses"), 1u);
+    EXPECT_EQ(shift.outstanding(), 0u);
+}

@@ -1,0 +1,152 @@
+/** @file Tests for the program builder and workload generator. */
+
+#include <gtest/gtest.h>
+
+#include "workloads/generator.hh"
+#include "workloads/program.hh"
+#include "workloads/suite.hh"
+
+using namespace cfl;
+
+TEST(ProgramBuilder, LabelsAndFixups)
+{
+    ProgramBuilder b("t");
+    const auto target = b.newLabel();
+    b.emitStraight(2);
+    b.emitCondTo(target, 0.5);
+    b.emitStraight(3);
+    b.bind(target);
+    b.emitStraight(1);
+    const Addr call_site_target = b.here();
+    b.emitStraight(1);
+    b.emitReturn();
+
+    Program p = b.finish(0x10000, 0x10000, {call_site_target}, 1);
+    // The conditional at inst index 2 must target the bound label.
+    const Addr cond_pc = 0x10000 + 2 * kInstBytes;
+    const BranchInfo *info = p.branchAt(cond_pc);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->kind, BranchKind::Cond);
+    EXPECT_EQ(info->target, 0x10000u + 6 * kInstBytes);
+    EXPECT_EQ(directTarget(cond_pc, p.image.at(cond_pc)), info->target);
+}
+
+TEST(ProgramBuilder, LoopBackAndJumpBack)
+{
+    ProgramBuilder b("t");
+    const Addr head = b.here();
+    b.emitStraight(3);
+    b.emitLoopBack(head, 2, 3);
+    b.emitJumpBack(head);
+    b.emitReturn();
+    Program p = b.finish(head, head, {head}, 1);
+
+    const Addr loop_pc = head + 3 * kInstBytes;
+    const BranchInfo *loop = p.branchAt(loop_pc);
+    ASSERT_NE(loop, nullptr);
+    EXPECT_TRUE(loop->isLoopBack);
+    EXPECT_EQ(loop->target, head);
+    EXPECT_EQ(loop->tripBase, 2);
+    EXPECT_EQ(loop->tripRange, 3);
+
+    const BranchInfo *jump = p.branchAt(loop_pc + kInstBytes);
+    ASSERT_NE(jump, nullptr);
+    EXPECT_EQ(jump->kind, BranchKind::Uncond);
+    EXPECT_EQ(jump->target, head);
+}
+
+TEST(ProgramBuilder, IndirectSets)
+{
+    ProgramBuilder b("t");
+    b.emitStraight(4);
+    const Addr f1 = b.here();
+    b.emitReturn();
+    const Addr f2 = b.here();
+    b.emitReturn();
+    const auto set = b.addIndirectSet({f1, f2});
+    b.emitIndirectCall(set);
+    b.emitReturn();
+    Program p = b.finish(0x10000, 0x10000, {f1}, 1);
+    ASSERT_EQ(p.indirectSets.size(), 1u);
+    EXPECT_EQ(p.indirectSets[0].size(), 2u);
+}
+
+TEST(Generator, DeterministicBySeed)
+{
+    WorkloadParams params;
+    params.layerWidths = {2, 4, 8};
+    params.seed = 99;
+    const Program a = generateWorkload(params);
+    const Program b = generateWorkload(params);
+    EXPECT_EQ(a.image.sizeBytes(), b.image.sizeBytes());
+    EXPECT_EQ(a.numStaticBranches(), b.numStaticBranches());
+    EXPECT_EQ(a.entry, b.entry);
+
+    params.seed = 100;
+    const Program c = generateWorkload(params);
+    EXPECT_NE(a.image.sizeBytes(), c.image.sizeBytes());
+}
+
+TEST(Generator, StructureIsWellFormed)
+{
+    WorkloadParams params;
+    params.layerWidths = {3, 6, 9};
+    const Program p = generateWorkload(params);
+
+    EXPECT_EQ(p.handlers.size(), 3u);  // layer-0 functions
+    EXPECT_GT(p.numStaticBranches(), 0u);
+    EXPECT_TRUE(p.image.contains(p.entry));
+    EXPECT_TRUE(p.image.contains(p.dispatchCallPc));
+    // finish() already validates every direct/indirect target; touching
+    // each function entry validates layout metadata.
+    EXPECT_EQ(p.functions.size(), 3u + 6u + 9u + 1u);  // + dispatcher
+    for (const FunctionInfo &f : p.functions) {
+        EXPECT_TRUE(p.image.contains(f.entry));
+        EXPECT_LE(f.limit, p.image.limit());
+        EXPECT_LT(f.entry, f.limit);
+    }
+}
+
+TEST(Suite, AllWorkloadsGenerate)
+{
+    for (const WorkloadId id : allWorkloads()) {
+        const Program &p = workloadProgram(id);
+        EXPECT_GT(p.image.sizeBytes(), 100u * 1024)
+            << workloadName(id) << " should have a server-scale image";
+        EXPECT_GT(p.numStaticBranches(), 5000u) << workloadName(id);
+        EXPECT_FALSE(p.handlers.empty());
+    }
+}
+
+TEST(Suite, StaticDensityTracksTable2Ordering)
+{
+    // Table 2: Web Frontend is densest, OLTP Oracle sparsest.
+    const double web =
+        workloadProgram(WorkloadId::WebFrontend).staticBranchDensity();
+    const double oracle =
+        workloadProgram(WorkloadId::OltpOracle).staticBranchDensity();
+    const double db2 =
+        workloadProgram(WorkloadId::OltpDb2).staticBranchDensity();
+    EXPECT_GT(web, db2);
+    EXPECT_GT(db2, oracle);
+}
+
+TEST(Suite, OracleHasLargestFootprint)
+{
+    std::size_t oracle_size =
+        workloadProgram(WorkloadId::OltpOracle).image.sizeBytes();
+    for (const WorkloadId id : allWorkloads()) {
+        if (id == WorkloadId::OltpOracle)
+            continue;
+        EXPECT_GT(oracle_size, workloadProgram(id).image.sizeBytes());
+    }
+}
+
+TEST(Suite, NamesAndSlugsAreUnique)
+{
+    std::set<std::string> names, slugs;
+    for (const WorkloadId id : allWorkloads()) {
+        EXPECT_TRUE(names.insert(workloadName(id)).second);
+        EXPECT_TRUE(slugs.insert(workloadSlug(id)).second);
+    }
+}
