@@ -17,7 +17,8 @@ using namespace cfl;
 int
 main()
 {
-    cfl::bench::runPerfAreaFigure(
+    // One parallel sweep serves both the scatter table and the headline.
+    const SweepResult sweep = cfl::bench::runPerfAreaFigure(
         "Figure 6: Confluence vs conventional front-ends "
         "(relative performance vs relative area)",
         {
@@ -31,17 +32,16 @@ main()
         });
 
     // Headline: fraction of the Ideal improvement each design captures.
-    const RunScale scale = currentScale();
-    const SystemConfig config = makeSystemConfig(scale.timingCores);
-    const auto rows = runComparison({FrontendKind::TwoLevelShift,
-                                     FrontendKind::Confluence,
-                                     FrontendKind::Ideal},
-                                    allWorkloads(), config, scale);
-    const double ideal = rows[2].relPerfGeomean;
+    const double ideal =
+        sweep.geomeanSpeedup(FrontendKind::Ideal, FrontendKind::Baseline);
+    const double two_shift = sweep.geomeanSpeedup(
+        FrontendKind::TwoLevelShift, FrontendKind::Baseline);
+    const double confluence = sweep.geomeanSpeedup(
+        FrontendKind::Confluence, FrontendKind::Baseline);
     std::printf("\nfraction of Ideal improvement: "
                 "2LevelBTB+SHIFT %.0f%% (paper: 62%%), "
                 "Confluence %.0f%% (paper: 85%%)\n",
-                100.0 * fractionOfIdeal(rows[0].relPerfGeomean, ideal),
-                100.0 * fractionOfIdeal(rows[1].relPerfGeomean, ideal));
+                100.0 * fractionOfIdeal(two_shift, ideal),
+                100.0 * fractionOfIdeal(confluence, ideal));
     return 0;
 }

@@ -10,7 +10,7 @@
  */
 
 #include "common/report.hh"
-#include "sim/experiment.hh"
+#include "sim/sweep.hh"
 
 using namespace cfl;
 
@@ -27,6 +27,10 @@ main()
         FrontendKind::IdealBtbShift,
     };
 
+    SweepEngine engine;
+    const SweepResult sweep = runTimingSweep(
+        withBaseline(kinds), allWorkloads(), config, scale, engine);
+
     std::vector<std::string> columns = {"workload"};
     for (const FrontendKind k : kinds)
         columns.push_back(frontendKindName(k));
@@ -35,15 +39,10 @@ main()
         std::move(columns));
 
     for (const WorkloadId wl : allWorkloads()) {
-        const double base =
-            runTiming(FrontendKind::Baseline, wl, config, scale)
-                .metrics.meanIpc();
+        const double base = sweep.ipc(FrontendKind::Baseline, wl);
         std::vector<std::string> row = {workloadName(wl)};
-        for (const FrontendKind k : kinds) {
-            const double ipc =
-                runTiming(k, wl, config, scale).metrics.meanIpc();
-            row.push_back(Report::ratio(ipc / base));
-        }
+        for (const FrontendKind k : kinds)
+            row.push_back(Report::ratio(sweep.ipc(k, wl) / base));
         report.addRow(std::move(row));
     }
     report.print();

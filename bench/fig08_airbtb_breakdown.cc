@@ -14,8 +14,8 @@
  */
 
 #include "common/report.hh"
-#include "sim/experiment.hh"
 #include "sim/metrics.hh"
+#include "sim/sweep.hh"
 
 using namespace cfl;
 
@@ -41,6 +41,8 @@ const Step kSteps[] = {
     {"+Block-Based Org.", true, true, true, true},
 };
 
+constexpr std::size_t kRunsPerWorkload = 2 + std::size(kSteps);
+
 } // namespace
 
 int
@@ -49,42 +51,47 @@ main()
     const RunScale scale = currentScale();
     FunctionalConfig fc = functionalConfigFromScale(scale);
     const SystemConfig config = makeSystemConfig(1);
+    const auto &workloads = allWorkloads();
+
+    // One grid sweep: a row per workload, a column per ablation run.
+    SweepEngine engine;
+    const auto results = sweepMap2(
+        engine, workloads.size(), kRunsPerWorkload,
+        [&](std::size_t w, std::size_t run) {
+            const WorkloadId wl = workloads[w];
+            if (run == 0) // 1K-entry conventional baseline
+                return runConventionalBtbStudy(wl, 1024, 4, 64, true, fc);
+            if (run == 1) // storage-equated conventional (tag amortization)
+                return runConventionalBtbStudy(wl, 1536, 6, 32, true, fc);
+            const Step &step = kSteps[run - 2];
+            FunctionalSetup setup;
+            setup.useL1I = true;
+            setup.useShift = step.useShift;
+            return runFunctionalStudy(
+                       wl, setup, config, fc,
+                       [&](const Program &program, const Predecoder &pre) {
+                           AirBtbParams p;
+                           p.eagerInsert = step.eager;
+                           p.fillFromPrefetch = step.fillFromPrefetch;
+                           p.syncWithL1I = step.sync;
+                           return std::make_unique<AirBtb>(p, program.image,
+                                                           pre);
+                       })
+                .result;
+        });
 
     Report report(
         "Figure 8: AirBTB miss-coverage breakdown vs 1K conventional BTB "
         "(cumulative % of misses eliminated)",
         {"workload", "Capacity", "+Spatial", "+Prefetch", "+BlockOrg"});
 
-    for (const WorkloadId wl : allWorkloads()) {
-        const FunctionalResult base =
-            runConventionalBtbStudy(wl, 1024, 4, 64, true, fc);
-
-        std::vector<std::string> row = {workloadName(wl)};
-
-        // Step 1: storage-equated conventional BTB (tag amortization).
-        const FunctionalResult capacity =
-            runConventionalBtbStudy(wl, 1536, 6, 32, true, fc);
-        row.push_back(Report::pct(
-            missCoverage(capacity.btbMisses, base.btbMisses), 1));
-
-        for (const Step &step : kSteps) {
-            FunctionalSetup setup;
-            setup.useL1I = true;
-            setup.useShift = step.useShift;
-            const auto run = runFunctionalStudy(
-                wl, setup, config, fc,
-                [&](const Program &program, const Predecoder &pre) {
-                    AirBtbParams p;
-                    p.eagerInsert = step.eager;
-                    p.fillFromPrefetch = step.fillFromPrefetch;
-                    p.syncWithL1I = step.sync;
-                    return std::make_unique<AirBtb>(p, program.image,
-                                                    pre);
-                });
-            const double coverage =
-                missCoverage(run.result.btbMisses, base.btbMisses);
-            row.push_back(Report::pct(coverage, 1));
-        }
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const FunctionalResult &base = results[w][0];
+        std::vector<std::string> row = {workloadName(workloads[w])};
+        for (std::size_t run = 1; run < kRunsPerWorkload; ++run)
+            row.push_back(Report::pct(
+                missCoverage(results[w][run].btbMisses, base.btbMisses),
+                1));
         report.addRow(std::move(row));
     }
     report.print();

@@ -8,10 +8,17 @@
  */
 
 #include "common/report.hh"
-#include "sim/experiment.hh"
 #include "sim/metrics.hh"
+#include "sim/sweep.hh"
 
 using namespace cfl;
+
+namespace
+{
+
+constexpr std::size_t kRunsPerWorkload = 4; // base, phantom, air, 16K
+
+} // namespace
 
 int
 main()
@@ -19,52 +26,69 @@ main()
     const RunScale scale = currentScale();
     FunctionalConfig fc = functionalConfigFromScale(scale);
     const SystemConfig config = makeSystemConfig(1);
+    const auto &workloads = allWorkloads();
+
+    SweepEngine engine;
+    const auto results = sweepMap2(
+        engine, workloads.size(), kRunsPerWorkload,
+        [&](std::size_t w, std::size_t run) {
+            const WorkloadId wl = workloads[w];
+            switch (run) {
+              case 0: // 1K-entry conventional baseline
+                return runConventionalBtbStudy(wl, 1024, 4, 64, true, fc);
+
+              case 1: { // PhantomBTB: shared virtualized history, no
+                        // inst prefetcher
+                FunctionalSetup plain;
+                plain.useL1I = true;
+                plain.useShift = false;
+                auto history =
+                    std::make_shared<PhantomSharedHistory>(config.phantom);
+                return runFunctionalStudy(
+                           wl, plain, config, fc,
+                           [&](const Program &, const Predecoder &) {
+                               return std::make_unique<PhantomBtb>(
+                                   config.phantom, history, 0);
+                           })
+                    .result;
+              }
+
+              case 2: { // AirBTB inside Confluence (with SHIFT)
+                FunctionalSetup with_shift;
+                with_shift.useL1I = true;
+                with_shift.useShift = true;
+                return runFunctionalStudy(
+                           wl, with_shift, config, fc,
+                           [&](const Program &program,
+                               const Predecoder &pre) {
+                               return std::make_unique<AirBtb>(
+                                   AirBtbParams{}, program.image, pre);
+                           })
+                    .result;
+              }
+
+              default: // 16K-entry conventional BTB
+                return runConventionalBtbStudy(wl, 16 * 1024, 4, 0, true,
+                                               fc);
+            }
+        });
 
     Report report("Figure 9: BTB misses eliminated vs 1K conventional BTB",
                   {"workload", "PhantomBTB", "AirBTB", "16K BTB"});
 
     std::vector<double> phantom_cov, air_cov, big_cov;
-
-    for (const WorkloadId wl : allWorkloads()) {
-        const FunctionalResult base =
-            runConventionalBtbStudy(wl, 1024, 4, 64, true, fc);
-
-        // PhantomBTB: shared virtualized history, no inst prefetcher.
-        FunctionalSetup plain;
-        plain.useL1I = true;
-        plain.useShift = false;
-        auto phantom_history =
-            std::make_shared<PhantomSharedHistory>(config.phantom);
-        const auto phantom = runFunctionalStudy(
-            wl, plain, config, fc,
-            [&](const Program &, const Predecoder &) {
-                return std::make_unique<PhantomBtb>(config.phantom,
-                                                    phantom_history, 0);
-            });
-
-        // AirBTB inside Confluence (with SHIFT).
-        FunctionalSetup with_shift;
-        with_shift.useL1I = true;
-        with_shift.useShift = true;
-        const auto air = runFunctionalStudy(
-            wl, with_shift, config, fc,
-            [&](const Program &program, const Predecoder &pre) {
-                return std::make_unique<AirBtb>(AirBtbParams{},
-                                                program.image, pre);
-            });
-
-        const FunctionalResult big =
-            runConventionalBtbStudy(wl, 16 * 1024, 4, 0, true, fc);
-
-        const double pc = missCoverage(phantom.result.btbMisses,
-                                       base.btbMisses);
-        const double ac = missCoverage(air.result.btbMisses,
-                                       base.btbMisses);
-        const double bc = missCoverage(big.btbMisses, base.btbMisses);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const FunctionalResult &base = results[w][0];
+        const double pc =
+            missCoverage(results[w][1].btbMisses, base.btbMisses);
+        const double ac =
+            missCoverage(results[w][2].btbMisses, base.btbMisses);
+        const double bc =
+            missCoverage(results[w][3].btbMisses, base.btbMisses);
         phantom_cov.push_back(pc);
         air_cov.push_back(ac);
         big_cov.push_back(bc);
-        report.addRow({workloadName(wl), Report::pct(pc, 1),
+        report.addRow({workloadName(workloads[w]), Report::pct(pc, 1),
                        Report::pct(ac, 1), Report::pct(bc, 1)});
     }
     report.addRow({"average", Report::pct(mean(phantom_cov), 1),

@@ -10,8 +10,8 @@
  */
 
 #include "common/report.hh"
-#include "sim/experiment.hh"
 #include "sim/metrics.hh"
+#include "sim/sweep.hh"
 
 using namespace cfl;
 
@@ -21,9 +21,35 @@ main()
     const RunScale scale = currentScale();
     FunctionalConfig fc = functionalConfigFromScale(scale);
     const SystemConfig config = makeSystemConfig(1);
+    const auto &workloads = allWorkloads();
 
     const std::vector<std::pair<unsigned, unsigned>> configs = {
         {3, 0}, {3, 32}, {4, 0}, {4, 32}};
+    const std::size_t runs_per_workload = 1 + configs.size();
+
+    SweepEngine engine;
+    const auto results = sweepMap2(
+        engine, workloads.size(), runs_per_workload,
+        [&](std::size_t w, std::size_t run) {
+            const WorkloadId wl = workloads[w];
+            if (run == 0) // 1K-entry conventional baseline
+                return runConventionalBtbStudy(wl, 1024, 4, 64, true, fc);
+            const auto [b, ob] = configs[run - 1];
+            FunctionalSetup setup;
+            setup.useL1I = true;
+            setup.useShift = true;
+            return runFunctionalStudy(
+                       wl, setup, config, fc,
+                       [&, bb = b, oo = ob](const Program &program,
+                                            const Predecoder &pre) {
+                           AirBtbParams p;
+                           p.branchEntries = bb;
+                           p.overflowEntries = oo;
+                           return std::make_unique<AirBtb>(p, program.image,
+                                                           pre);
+                       })
+                .result;
+        });
 
     std::vector<std::string> columns = {"workload"};
     for (const auto &[b, ob] : configs)
@@ -33,28 +59,14 @@ main()
                   "(% of 1K-BTB misses eliminated)",
                   std::move(columns));
 
-    for (const WorkloadId wl : allWorkloads()) {
-        const FunctionalResult base =
-            runConventionalBtbStudy(wl, 1024, 4, 64, true, fc);
-
-        std::vector<std::string> row = {workloadName(wl)};
-        for (const auto &[b, ob] : configs) {
-            FunctionalSetup setup;
-            setup.useL1I = true;
-            setup.useShift = true;
-            const auto run = runFunctionalStudy(
-                wl, setup, config, fc,
-                [&, bb = b, oo = ob](const Program &program,
-                                     const Predecoder &pre) {
-                    AirBtbParams p;
-                    p.branchEntries = bb;
-                    p.overflowEntries = oo;
-                    return std::make_unique<AirBtb>(p, program.image,
-                                                    pre);
-                });
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const FunctionalResult &base = results[w][0];
+        std::vector<std::string> row = {workloadName(workloads[w])};
+        for (std::size_t c = 0; c < configs.size(); ++c)
             row.push_back(Report::pct(
-                missCoverage(run.result.btbMisses, base.btbMisses), 1));
-        }
+                missCoverage(results[w][1 + c].btbMisses,
+                             base.btbMisses),
+                1));
         report.addRow(std::move(row));
     }
     report.print();

@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared harness for the performance/area scatter figures (2 and 6):
- * runs a set of front-end designs over all workloads and prints
- * (relative performance geomean, relative area) rows.
+ * sweeps a set of front-end designs over all workloads on the parallel
+ * sweep engine and prints (relative performance geomean, relative area)
+ * rows.
  */
 
 #ifndef CFL_BENCH_FIG_PERF_COMMON_HH
@@ -12,21 +13,26 @@
 #include <vector>
 
 #include "common/report.hh"
-#include "sim/experiment.hh"
 #include "sim/metrics.hh"
+#include "sim/sweep.hh"
 
 namespace cfl::bench
 {
 
-inline void
+/** Runs the sweep, prints the figure, and returns the sweep so callers
+ *  can derive headline numbers without re-running any point. */
+inline SweepResult
 runPerfAreaFigure(const std::string &title,
                   const std::vector<FrontendKind> &kinds)
 {
     const RunScale scale = currentScale();
     const SystemConfig config = makeSystemConfig(scale.timingCores);
 
-    const auto rows =
-        runComparison(kinds, allWorkloads(), config, scale);
+    // The sweep needs the Baseline normalization points even when the
+    // figure doesn't print a Baseline row.
+    SweepEngine engine;
+    const SweepResult sweep = runTimingSweep(
+        withBaseline(kinds), allWorkloads(), config, scale, engine);
 
     std::vector<std::string> columns = {"design", "rel. area",
                                         "rel. perf (geomean)"};
@@ -34,18 +40,21 @@ runPerfAreaFigure(const std::string &title,
         columns.push_back(workloadSlug(wl));
 
     Report report(title, std::move(columns));
-    for (const ComparisonRow &row : rows) {
+    for (const FrontendKind kind : kinds) {
+        const auto speedups =
+            sweep.speedups(kind, FrontendKind::Baseline);
         std::vector<std::string> cells = {
-            frontendKindName(row.kind),
-            Report::ratio(row.relArea),
-            Report::ratio(row.relPerfGeomean),
+            frontendKindName(kind),
+            Report::ratio(relativeArea(kind, config)),
+            Report::ratio(
+                sweep.geomeanSpeedup(kind, FrontendKind::Baseline)),
         };
         for (const WorkloadId wl : allWorkloads())
-            cells.push_back(
-                Report::ratio(row.perWorkloadSpeedup.at(wl)));
+            cells.push_back(Report::ratio(speedups.at(wl)));
         report.addRow(std::move(cells));
     }
     report.print();
+    return sweep;
 }
 
 } // namespace cfl::bench

@@ -47,7 +47,8 @@ CmpMetrics::totalRetired() const
     return sum;
 }
 
-Cmp::Cmp(FrontendKind kind, WorkloadId workload, const SystemConfig &config)
+Cmp::Cmp(FrontendKind kind, WorkloadId workload, const SystemConfig &config,
+         std::uint64_t seed_base)
     : config_(config)
 {
     cfl_assert(config.numCores > 0, "CMP needs >= 1 core");
@@ -72,7 +73,7 @@ Cmp::Cmp(FrontendKind kind, WorkloadId workload, const SystemConfig &config)
     }
 
     for (unsigned c = 0; c < config.numCores; ++c) {
-        const std::uint64_t seed = 0xc0fe + 0x1000ull * c;
+        const std::uint64_t seed = seed_base + 0x1000ull * c;
         cores_.push_back(std::make_unique<CoreSim>(
             kind, program, wparams, config_, shared_, c, seed,
             /*recorder=*/c == 0));

@@ -62,11 +62,20 @@ struct CmpMetrics
     Counter totalRetired() const;
 };
 
+/** Seed base Cmp uses when the caller does not supply one. */
+inline constexpr std::uint64_t kDefaultCmpSeedBase = 0xc0fe;
+
 /** A CMP running one workload under one front-end design. */
 class Cmp
 {
   public:
-    Cmp(FrontendKind kind, WorkloadId workload, const SystemConfig &config);
+    /**
+     * @param seed_base base of the per-core ExecEngine seeds. Equal
+     *        bases give bit-identical runs; sweep points derive theirs
+     *        deterministically from the point coordinates.
+     */
+    Cmp(FrontendKind kind, WorkloadId workload, const SystemConfig &config,
+        std::uint64_t seed_base = kDefaultCmpSeedBase);
 
     /**
      * Run @p warmup_insts then measure @p measure_insts retired

@@ -2,18 +2,20 @@
 
 #include "common/logging.hh"
 #include "sim/metrics.hh"
+#include "sim/sweep.hh"
 
 namespace cfl
 {
 
 TimingPoint
 runTiming(FrontendKind kind, WorkloadId workload,
-          const SystemConfig &config, const RunScale &scale)
+          const SystemConfig &config, const RunScale &scale,
+          std::uint64_t seed_base)
 {
     SystemConfig cfg = config;
     cfg.numCores = scale.timingCores;
 
-    Cmp cmp(kind, workload, cfg);
+    Cmp cmp(kind, workload, cfg, seed_base);
     TimingPoint out;
     out.kind = kind;
     out.workload = workload;
@@ -27,13 +29,10 @@ runComparison(const std::vector<FrontendKind> &kinds,
               const std::vector<WorkloadId> &workloads,
               const SystemConfig &config, const RunScale &scale)
 {
-    // Baseline IPC per workload is the normalization denominator.
-    std::map<WorkloadId, double> baseline_ipc;
-    for (const WorkloadId wl : workloads) {
-        baseline_ipc[wl] =
-            runTiming(FrontendKind::Baseline, wl, config, scale)
-                .metrics.meanIpc();
-    }
+    // Fan every (kind, workload) point — plus the Baseline normalization
+    // points — out across the sweep engine's thread pool.
+    const SweepResult sweep =
+        runTimingSweep(withBaseline(kinds), workloads, config, scale);
 
     std::vector<ComparisonRow> rows;
     for (const FrontendKind kind : kinds) {
@@ -43,14 +42,11 @@ runComparison(const std::vector<FrontendKind> &kinds,
 
         std::vector<double> speedups;
         for (const WorkloadId wl : workloads) {
-            double s = 1.0;
-            if (kind == FrontendKind::Baseline) {
-                s = 1.0;
-            } else {
-                const double ipc =
-                    runTiming(kind, wl, config, scale).metrics.meanIpc();
-                s = speedup(ipc, baseline_ipc[wl]);
-            }
+            const double s =
+                kind == FrontendKind::Baseline
+                    ? 1.0
+                    : speedup(sweep.ipc(kind, wl),
+                              sweep.ipc(FrontendKind::Baseline, wl));
             row.perWorkloadSpeedup[wl] = s;
             speedups.push_back(s);
         }
@@ -71,7 +67,7 @@ runFunctionalStudy(WorkloadId workload, const FunctionalSetup &setup,
     const WorkloadParams wparams = workloadParams(workload);
 
     Predecoder predecoder(config.predecodeLatency);
-    ExecEngine engine(program, wparams, 0xfeed);
+    ExecEngine engine(program, wparams, setup.engineSeed);
 
     std::unique_ptr<Btb> btb = btb_factory(program, predecoder);
     cfl_assert(btb != nullptr, "btb_factory returned null");

@@ -33,9 +33,13 @@ struct TimingPoint
     CmpMetrics metrics;
 };
 
-/** Run one timing point at the given scale. */
+/**
+ * Run one timing point at the given scale. @p seed_base seeds the CMP's
+ * per-core engines; equal bases give bit-identical metrics.
+ */
 TimingPoint runTiming(FrontendKind kind, WorkloadId workload,
-                      const SystemConfig &config, const RunScale &scale);
+                      const SystemConfig &config, const RunScale &scale,
+                      std::uint64_t seed_base = kDefaultCmpSeedBase);
 
 /** Normalized comparison of several designs (geomean over workloads). */
 struct ComparisonRow
@@ -48,7 +52,9 @@ struct ComparisonRow
 
 /**
  * Run @p kinds (plus Baseline implicitly) over @p workloads and
- * normalize performance to Baseline per workload.
+ * normalize performance to Baseline per workload. Points are evaluated
+ * on the parallel sweep engine (sim/sweep.hh); results are independent
+ * of the worker count.
  */
 std::vector<ComparisonRow>
 runComparison(const std::vector<FrontendKind> &kinds,
@@ -64,6 +70,9 @@ struct FunctionalSetup
 {
     bool useL1I = true;
     bool useShift = false;
+    /** Oracle-stream engine seed; a pure per-point value keeps
+     *  functional sweeps deterministic under parallel execution. */
+    std::uint64_t engineSeed = 0xfeed;
     /** Override AirBTB-style params etc. by building your own Btb. */
 };
 

@@ -10,6 +10,7 @@
 
 #include "sim/experiment.hh"
 #include "sim/metrics.hh"
+#include "sim/sweep.hh"
 
 using namespace cfl;
 
@@ -112,4 +113,102 @@ TEST(Calibration, ShiftDesignsBeatFdpDesigns)
     const Speedups &s = measured();
     EXPECT_GT(s.two_shift, s.fdp);
     EXPECT_GT(s.two_shift, s.phantom_fdp);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-value regression tests.
+//
+// Unlike the shape tests above, these pin the *exact* numbers the sweep
+// engine produces at the quick-scale preset, so a perf refactor that
+// accidentally changes simulated behaviour (instead of just running it
+// faster) fails loudly. The simulator is deterministic: every value here
+// is a pure function of the sweep-point seeds. If a deliberate modeling
+// change shifts them, re-baseline by updating the constants — never by
+// widening the tolerances.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** The CONFLUENCE_SCALE=quick timing preset, spelled out explicitly so
+ *  the goldens don't depend on the test process's environment. */
+RunScale
+quickScale()
+{
+    RunScale scale;
+    scale.timingWarmupInsts = 800'000;
+    scale.timingMeasureInsts = 400'000;
+    scale.timingCores = 1;
+    return scale;
+}
+
+const SweepResult &
+goldenSweep()
+{
+    static const SweepResult r = [] {
+        SweepEngine engine(2);
+        return runTimingSweep(
+            {FrontendKind::Baseline, FrontendKind::Confluence},
+            {WorkloadId::DssQry, WorkloadId::WebFrontend},
+            makeSystemConfig(1), quickScale(), engine);
+    }();
+    return r;
+}
+
+} // namespace
+
+TEST(CalibrationGolden, QuickScaleGeomeanSpeedup)
+{
+    EXPECT_NEAR(goldenSweep().geomeanSpeedup(FrontendKind::Confluence,
+                                             FrontendKind::Baseline),
+                1.217584361106137, 1e-9);
+}
+
+TEST(CalibrationGolden, QuickScaleBtbMpki)
+{
+    const SweepResult &r = goldenSweep();
+    EXPECT_NEAR(r.btbMpki(FrontendKind::Baseline, WorkloadId::DssQry),
+                8.557499999999999, 1e-9);
+    EXPECT_NEAR(r.btbMpki(FrontendKind::Baseline, WorkloadId::WebFrontend),
+                46.867382831542919, 1e-9);
+    EXPECT_NEAR(r.btbMpki(FrontendKind::Confluence, WorkloadId::DssQry),
+                5.097474512627437, 1e-9);
+    EXPECT_NEAR(r.btbMpki(FrontendKind::Confluence,
+                          WorkloadId::WebFrontend),
+                19.57, 1e-9);
+}
+
+TEST(CalibrationGolden, QuickScaleRawCounters)
+{
+    // Integer counters are exact: any drift at all is a behaviour change.
+    const SweepResult &r = goldenSweep();
+    const auto counters = [&](FrontendKind k, WorkloadId wl) {
+        const SweepOutcome *o = r.find(k, wl);
+        EXPECT_NE(o, nullptr);
+        return o->metrics.cores.at(0);
+    };
+
+    const CoreMetrics base_dss =
+        counters(FrontendKind::Baseline, WorkloadId::DssQry);
+    EXPECT_EQ(base_dss.retired, 400000u);
+    EXPECT_EQ(base_dss.cycles, 278308u);
+    EXPECT_EQ(base_dss.btbTakenMisses, 3423u);
+
+    const CoreMetrics base_web =
+        counters(FrontendKind::Baseline, WorkloadId::WebFrontend);
+    EXPECT_EQ(base_web.retired, 400001u);
+    EXPECT_EQ(base_web.cycles, 356607u);
+    EXPECT_EQ(base_web.btbTakenMisses, 18747u);
+
+    const CoreMetrics cfl_dss =
+        counters(FrontendKind::Confluence, WorkloadId::DssQry);
+    EXPECT_EQ(cfl_dss.retired, 400002u);
+    EXPECT_EQ(cfl_dss.cycles, 237071u);
+    EXPECT_EQ(cfl_dss.btbTakenMisses, 2039u);
+
+    const CoreMetrics cfl_web =
+        counters(FrontendKind::Confluence, WorkloadId::WebFrontend);
+    EXPECT_EQ(cfl_web.retired, 400000u);
+    EXPECT_EQ(cfl_web.cycles, 282384u);
+    EXPECT_EQ(cfl_web.btbTakenMisses, 7828u);
 }
