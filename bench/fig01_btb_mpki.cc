@@ -4,40 +4,15 @@
  *
  * Paper shape: MPKI falls steeply with capacity; most workloads are
  * fully captured by ~16K entries, while OLTP Oracle still benefits at
- * 32K (Section 2.1).
+ * 32K (Section 2.1). Points and formatting live in the figure registry
+ * (bench/figures.cc); the shared runner fans the capacity grid out
+ * across the parallel sweep engine.
  */
 
-#include <vector>
-
-#include "common/report.hh"
-#include "sim/experiment.hh"
-
-using namespace cfl;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const RunScale scale = currentScale();
-    FunctionalConfig fc = functionalConfigFromScale(scale);
-
-    const std::vector<std::size_t> capacities = {1024, 2048, 4096, 8192,
-                                                 16384, 32768};
-
-    std::vector<std::string> columns = {"workload"};
-    for (const std::size_t c : capacities)
-        columns.push_back(std::to_string(c / 1024) + "K");
-    Report report("Figure 1: BTB MPKI vs BTB capacity (entries)",
-                  std::move(columns));
-
-    for (const WorkloadId wl : allWorkloads()) {
-        std::vector<std::string> row = {workloadName(wl)};
-        for (const std::size_t entries : capacities) {
-            const FunctionalResult r = runConventionalBtbStudy(
-                wl, entries, 4, 0, /*with_l1i=*/false, fc);
-            row.push_back(Report::num(r.btbMpki(), 1));
-        }
-        report.addRow(std::move(row));
-    }
-    report.print();
-    return 0;
+    return cfl::bench::runFigureMain("fig01", argc, argv);
 }

@@ -5,24 +5,14 @@
  * a 1K-entry BTB and no prefetching.
  *
  * Paper shape: FDP ~+5%; PhantomBTB+FDP ~+9%; 2LevelBTB+FDP in between;
- * 2LevelBTB+SHIFT ~+22% at ~1.08x area; Ideal ~+35%.
+ * 2LevelBTB+SHIFT ~+22% at ~1.08x area; Ideal ~+35%. Points and
+ * formatting live in the figure registry (bench/figures.cc).
  */
 
-#include "fig_perf_common.hh"
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    cfl::bench::runPerfAreaFigure(
-        "Figure 2: conventional front-ends "
-        "(relative performance vs relative area)",
-        {
-            cfl::FrontendKind::Baseline,
-            cfl::FrontendKind::Fdp,
-            cfl::FrontendKind::PhantomFdp,
-            cfl::FrontendKind::TwoLevelFdp,
-            cfl::FrontendKind::TwoLevelShift,
-            cfl::FrontendKind::Ideal,
-        });
-    return 0;
+    return cfl::bench::runFigureMain("fig02", argc, argv);
 }

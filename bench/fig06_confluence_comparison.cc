@@ -4,44 +4,15 @@
  *
  * Paper shape: Confluence is the closest design point to Ideal —
  * ~85% of the Ideal improvement at ~1% per-core area overhead, ahead of
- * 2LevelBTB+SHIFT (62% of Ideal at ~8% area).
+ * 2LevelBTB+SHIFT (62% of Ideal at ~8% area). Points, formatting, and
+ * the fraction-of-Ideal headline live in the figure registry
+ * (bench/figures.cc).
  */
 
-#include "fig_perf_common.hh"
-#include "sim/metrics.hh"
-
-#include <cstdio>
-
-using namespace cfl;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    // One parallel sweep serves both the scatter table and the headline.
-    const SweepResult sweep = cfl::bench::runPerfAreaFigure(
-        "Figure 6: Confluence vs conventional front-ends "
-        "(relative performance vs relative area)",
-        {
-            FrontendKind::Baseline,
-            FrontendKind::Fdp,
-            FrontendKind::PhantomFdp,
-            FrontendKind::TwoLevelFdp,
-            FrontendKind::TwoLevelShift,
-            FrontendKind::Confluence,
-            FrontendKind::Ideal,
-        });
-
-    // Headline: fraction of the Ideal improvement each design captures.
-    const double ideal =
-        sweep.geomeanSpeedup(FrontendKind::Ideal, FrontendKind::Baseline);
-    const double two_shift = sweep.geomeanSpeedup(
-        FrontendKind::TwoLevelShift, FrontendKind::Baseline);
-    const double confluence = sweep.geomeanSpeedup(
-        FrontendKind::Confluence, FrontendKind::Baseline);
-    std::printf("\nfraction of Ideal improvement: "
-                "2LevelBTB+SHIFT %.0f%% (paper: 62%%), "
-                "Confluence %.0f%% (paper: 85%%)\n",
-                100.0 * fractionOfIdeal(two_shift, ideal),
-                100.0 * fractionOfIdeal(confluence, ideal));
-    return 0;
+    return cfl::bench::runFigureMain("fig06", argc, argv);
 }

@@ -6,45 +6,14 @@
  *
  * Paper shape per workload: PhantomBTB+SHIFT lowest; 2LevelBTB+SHIFT
  * ~51% of the IdealBTB speedup (stalls on the 4-cycle second level);
- * Confluence ~90% of IdealBTB+SHIFT.
+ * Confluence ~90% of IdealBTB+SHIFT. Points and formatting live in the
+ * figure registry (bench/figures.cc).
  */
 
-#include "common/report.hh"
-#include "sim/sweep.hh"
-
-using namespace cfl;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const RunScale scale = currentScale();
-    const SystemConfig config = makeSystemConfig(scale.timingCores);
-
-    const std::vector<FrontendKind> kinds = {
-        FrontendKind::PhantomShift,
-        FrontendKind::TwoLevelShift,
-        FrontendKind::Confluence,
-        FrontendKind::IdealBtbShift,
-    };
-
-    SweepEngine engine;
-    const SweepResult sweep = runTimingSweep(
-        withBaseline(kinds), allWorkloads(), config, scale, engine);
-
-    std::vector<std::string> columns = {"workload"};
-    for (const FrontendKind k : kinds)
-        columns.push_back(frontendKindName(k));
-    Report report(
-        "Figure 7: speedup over 1K-entry BTB, all designs with SHIFT",
-        std::move(columns));
-
-    for (const WorkloadId wl : allWorkloads()) {
-        const double base = sweep.ipc(FrontendKind::Baseline, wl);
-        std::vector<std::string> row = {workloadName(wl)};
-        for (const FrontendKind k : kinds)
-            row.push_back(Report::ratio(sweep.ipc(k, wl) / base));
-        report.addRow(std::move(row));
-    }
-    report.print();
-    return 0;
+    return cfl::bench::runFigureMain("fig07", argc, argv);
 }

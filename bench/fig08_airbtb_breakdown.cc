@@ -11,89 +11,13 @@
  *   Block-Based Org.  contents synchronized with the L1-I
  *
  * Paper shape: roughly +18% / +57% / +7% / +11%, summing to ~93%.
+ * Points and formatting live in the figure registry (bench/figures.cc).
  */
 
-#include "common/report.hh"
-#include "sim/metrics.hh"
-#include "sim/sweep.hh"
-
-using namespace cfl;
-
-namespace
-{
-
-struct Step
-{
-    const char *name;
-    bool eager;
-    bool fillFromPrefetch;
-    bool sync;
-    bool useShift;
-};
-
-// Steps 2-4 are AirBTB ablations; step 1 ("Capacity") is a conventional
-// BTB holding as many individually-managed entries as AirBTB's storage
-// budget affords (~1.5K: 512 bundles x 3 entries), isolating the pure
-// tag-amortization gain as the paper's decomposition does.
-const Step kSteps[] = {
-    {"+Spatial Locality", true, false, false, false},
-    {"+Prefetching", true, true, false, true},
-    {"+Block-Based Org.", true, true, true, true},
-};
-
-constexpr std::size_t kRunsPerWorkload = 2 + std::size(kSteps);
-
-} // namespace
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const RunScale scale = currentScale();
-    FunctionalConfig fc = functionalConfigFromScale(scale);
-    const SystemConfig config = makeSystemConfig(1);
-    const auto &workloads = allWorkloads();
-
-    // One grid sweep: a row per workload, a column per ablation run.
-    SweepEngine engine;
-    const auto results = sweepMap2(
-        engine, workloads.size(), kRunsPerWorkload,
-        [&](std::size_t w, std::size_t run) {
-            const WorkloadId wl = workloads[w];
-            if (run == 0) // 1K-entry conventional baseline
-                return runConventionalBtbStudy(wl, 1024, 4, 64, true, fc);
-            if (run == 1) // storage-equated conventional (tag amortization)
-                return runConventionalBtbStudy(wl, 1536, 6, 32, true, fc);
-            const Step &step = kSteps[run - 2];
-            FunctionalSetup setup;
-            setup.useL1I = true;
-            setup.useShift = step.useShift;
-            return runFunctionalStudy(
-                       wl, setup, config, fc,
-                       [&](const Program &program, const Predecoder &pre) {
-                           AirBtbParams p;
-                           p.eagerInsert = step.eager;
-                           p.fillFromPrefetch = step.fillFromPrefetch;
-                           p.syncWithL1I = step.sync;
-                           return std::make_unique<AirBtb>(p, program.image,
-                                                           pre);
-                       })
-                .result;
-        });
-
-    Report report(
-        "Figure 8: AirBTB miss-coverage breakdown vs 1K conventional BTB "
-        "(cumulative % of misses eliminated)",
-        {"workload", "Capacity", "+Spatial", "+Prefetch", "+BlockOrg"});
-
-    for (std::size_t w = 0; w < workloads.size(); ++w) {
-        const FunctionalResult &base = results[w][0];
-        std::vector<std::string> row = {workloadName(workloads[w])};
-        for (std::size_t run = 1; run < kRunsPerWorkload; ++run)
-            row.push_back(Report::pct(
-                missCoverage(results[w][run].btbMisses, base.btbMisses),
-                1));
-        report.addRow(std::move(row));
-    }
-    report.print();
-    return 0;
+    return cfl::bench::runFigureMain("fig08", argc, argv);
 }

@@ -5,95 +5,13 @@
  * BTB.
  *
  * Paper shape: PhantomBTB ~61% on average, AirBTB ~93%, 16K BTB ~95%.
+ * Points and formatting live in the figure registry (bench/figures.cc).
  */
 
-#include "common/report.hh"
-#include "sim/metrics.hh"
-#include "sim/sweep.hh"
-
-using namespace cfl;
-
-namespace
-{
-
-constexpr std::size_t kRunsPerWorkload = 4; // base, phantom, air, 16K
-
-} // namespace
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const RunScale scale = currentScale();
-    FunctionalConfig fc = functionalConfigFromScale(scale);
-    const SystemConfig config = makeSystemConfig(1);
-    const auto &workloads = allWorkloads();
-
-    SweepEngine engine;
-    const auto results = sweepMap2(
-        engine, workloads.size(), kRunsPerWorkload,
-        [&](std::size_t w, std::size_t run) {
-            const WorkloadId wl = workloads[w];
-            switch (run) {
-              case 0: // 1K-entry conventional baseline
-                return runConventionalBtbStudy(wl, 1024, 4, 64, true, fc);
-
-              case 1: { // PhantomBTB: shared virtualized history, no
-                        // inst prefetcher
-                FunctionalSetup plain;
-                plain.useL1I = true;
-                plain.useShift = false;
-                auto history =
-                    std::make_shared<PhantomSharedHistory>(config.phantom);
-                return runFunctionalStudy(
-                           wl, plain, config, fc,
-                           [&](const Program &, const Predecoder &) {
-                               return std::make_unique<PhantomBtb>(
-                                   config.phantom, history, 0);
-                           })
-                    .result;
-              }
-
-              case 2: { // AirBTB inside Confluence (with SHIFT)
-                FunctionalSetup with_shift;
-                with_shift.useL1I = true;
-                with_shift.useShift = true;
-                return runFunctionalStudy(
-                           wl, with_shift, config, fc,
-                           [&](const Program &program,
-                               const Predecoder &pre) {
-                               return std::make_unique<AirBtb>(
-                                   AirBtbParams{}, program.image, pre);
-                           })
-                    .result;
-              }
-
-              default: // 16K-entry conventional BTB
-                return runConventionalBtbStudy(wl, 16 * 1024, 4, 0, true,
-                                               fc);
-            }
-        });
-
-    Report report("Figure 9: BTB misses eliminated vs 1K conventional BTB",
-                  {"workload", "PhantomBTB", "AirBTB", "16K BTB"});
-
-    std::vector<double> phantom_cov, air_cov, big_cov;
-    for (std::size_t w = 0; w < workloads.size(); ++w) {
-        const FunctionalResult &base = results[w][0];
-        const double pc =
-            missCoverage(results[w][1].btbMisses, base.btbMisses);
-        const double ac =
-            missCoverage(results[w][2].btbMisses, base.btbMisses);
-        const double bc =
-            missCoverage(results[w][3].btbMisses, base.btbMisses);
-        phantom_cov.push_back(pc);
-        air_cov.push_back(ac);
-        big_cov.push_back(bc);
-        report.addRow({workloadName(workloads[w]), Report::pct(pc, 1),
-                       Report::pct(ac, 1), Report::pct(bc, 1)});
-    }
-    report.addRow({"average", Report::pct(mean(phantom_cov), 1),
-                   Report::pct(mean(air_cov), 1),
-                   Report::pct(mean(big_cov), 1)});
-    report.print();
-    return 0;
+    return cfl::bench::runFigureMain("fig09", argc, argv);
 }

@@ -6,69 +6,14 @@
  * Paper shape: B:3,OB:0 can do *worse* than the 1K baseline on some
  * workloads (negative coverage); B:3,OB:32 reaches ~93%; B:4,OB:32 adds
  * only ~2% more for ~2KB extra storage — hence B:3,OB:32 is the final
- * design.
+ * design. Points and formatting live in the figure registry
+ * (bench/figures.cc).
  */
 
-#include "common/report.hh"
-#include "sim/metrics.hh"
-#include "sim/sweep.hh"
-
-using namespace cfl;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const RunScale scale = currentScale();
-    FunctionalConfig fc = functionalConfigFromScale(scale);
-    const SystemConfig config = makeSystemConfig(1);
-    const auto &workloads = allWorkloads();
-
-    const std::vector<std::pair<unsigned, unsigned>> configs = {
-        {3, 0}, {3, 32}, {4, 0}, {4, 32}};
-    const std::size_t runs_per_workload = 1 + configs.size();
-
-    SweepEngine engine;
-    const auto results = sweepMap2(
-        engine, workloads.size(), runs_per_workload,
-        [&](std::size_t w, std::size_t run) {
-            const WorkloadId wl = workloads[w];
-            if (run == 0) // 1K-entry conventional baseline
-                return runConventionalBtbStudy(wl, 1024, 4, 64, true, fc);
-            const auto [b, ob] = configs[run - 1];
-            FunctionalSetup setup;
-            setup.useL1I = true;
-            setup.useShift = true;
-            return runFunctionalStudy(
-                       wl, setup, config, fc,
-                       [&, bb = b, oo = ob](const Program &program,
-                                            const Predecoder &pre) {
-                           AirBtbParams p;
-                           p.branchEntries = bb;
-                           p.overflowEntries = oo;
-                           return std::make_unique<AirBtb>(p, program.image,
-                                                           pre);
-                       })
-                .result;
-        });
-
-    std::vector<std::string> columns = {"workload"};
-    for (const auto &[b, ob] : configs)
-        columns.push_back("B:" + std::to_string(b) +
-                          ",OB:" + std::to_string(ob));
-    Report report("Figure 10: AirBTB sensitivity "
-                  "(% of 1K-BTB misses eliminated)",
-                  std::move(columns));
-
-    for (std::size_t w = 0; w < workloads.size(); ++w) {
-        const FunctionalResult &base = results[w][0];
-        std::vector<std::string> row = {workloadName(workloads[w])};
-        for (std::size_t c = 0; c < configs.size(); ++c)
-            row.push_back(Report::pct(
-                missCoverage(results[w][1 + c].btbMisses,
-                             base.btbMisses),
-                1));
-        report.addRow(std::move(row));
-    }
-    report.print();
-    return 0;
+    return cfl::bench::runFigureMain("fig10", argc, argv);
 }

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Declarative registry of the paper's figures and tables.
+ *
+ * Every figure bench used to hand-roll its own sweep loop; here each
+ * figure is data — a FigureSpec naming its experiment points plus a
+ * row-formatting function — and one shared runner (runFigureMain)
+ * evaluates the points on the parallel sweep engine, prints the
+ * paper-style table, and can dump machine-readable output (--csv for
+ * the table, --json for the raw SweepResult via the sweepio codec).
+ * A bench binary is just `return runFigureMain("fig06", argc, argv)`.
+ *
+ * Two point families cover the whole evaluation:
+ *  - TimingFigure: full CMP timing sweeps over (design, workload)
+ *    pairs (Figures 2, 6, 7), normalized to Baseline;
+ *  - FunctionalFigure: timing-free coverage runs per workload
+ *    (Figures 1, 8, 9, 10; Table 2), one named run per column.
+ */
+
+#ifndef CFL_BENCH_FIGURES_HH
+#define CFL_BENCH_FIGURES_HH
+
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/report.hh"
+#include "sim/experiment.hh"
+#include "sim/sweep.hh"
+
+namespace cfl::bench
+{
+
+/** A figure swept as timing (design, workload) points. */
+struct TimingFigure
+{
+    /** Designs swept; Baseline is added for normalization if absent. */
+    std::vector<FrontendKind> kinds;
+
+    /** Build the printed table from the finished sweep. */
+    std::function<Report(const std::string &title, const SweepResult &,
+                         const SystemConfig &)>
+        report;
+
+    /** Optional headline text printed after the table. */
+    std::function<std::string(const SweepResult &)> footer;
+};
+
+/** One functional (coverage) run, evaluated for every workload. */
+struct FunctionalRun
+{
+    std::string label;
+    std::function<FunctionalResult(WorkloadId, const SystemConfig &,
+                                   const FunctionalConfig &)>
+        run;
+};
+
+/** Functional results as grid[workload_index][run_index]. */
+using FunctionalGrid = std::vector<std::vector<FunctionalResult>>;
+
+/** A figure swept as functional runs per workload. */
+struct FunctionalFigure
+{
+    std::vector<FunctionalRun> runs;
+
+    /** Build the printed table from the finished grid; @p labels are
+     *  the runs' labels in run order — the single source of column
+     *  names, so run list and table header cannot drift apart. */
+    std::function<Report(const std::string &title,
+                         const std::vector<std::string> &labels,
+                         const FunctionalGrid &)>
+        report;
+};
+
+/** A declarative paper figure/table: points + row formatting. */
+struct FigureSpec
+{
+    std::string name;   ///< stable id, e.g. "fig06"
+    std::string title;  ///< printed table title
+    std::variant<TimingFigure, FunctionalFigure> body;
+};
+
+/** All registered figures, in paper order. */
+const std::vector<FigureSpec> &figureRegistry();
+
+/** Look a figure up by name; nullptr when absent. */
+const FigureSpec *findFigure(const std::string &name);
+
+/**
+ * Shared bench-binary driver: evaluate the named figure's points on the
+ * parallel sweep engine at the current scale, print its report, and
+ * honor the machine-readable output flags:
+ *
+ *   --csv <path>    write the table as CSV ("-" for stdout)
+ *   --json <path>   write the SweepResult as sweepio JSONL ("-" for
+ *                   stdout; timing figures only)
+ *
+ * Returns the process exit code.
+ */
+int runFigureMain(const std::string &name, int argc, char **argv);
+
+} // namespace cfl::bench
+
+#endif // CFL_BENCH_FIGURES_HH

@@ -7,37 +7,14 @@
  *
  * Paper values: static 3.6 / 2.5 / 3.4 / 3.5 / 4.3 and dynamic
  * 1.4 / 1.6 / 1.4 / 1.5 / 1.5 for DB2 / Oracle / DSS / Media / Web.
+ * Points and formatting live in the figure registry (bench/figures.cc);
+ * the shared runner fans the workloads out across the sweep engine.
  */
 
-#include "common/report.hh"
-#include "sim/experiment.hh"
-
-using namespace cfl;
+#include "figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    const RunScale scale = currentScale();
-    FunctionalConfig fc = functionalConfigFromScale(scale);
-
-    Report report("Table 2: branch density in demand-fetched blocks",
-                  {"workload", "static (paper)", "static (measured)",
-                   "dynamic (paper)", "dynamic (measured)"});
-
-    const char *paper_static[] = {"3.6", "2.5", "3.4", "3.5", "4.3"};
-    const char *paper_dynamic[] = {"1.4", "1.6", "1.4", "1.5", "1.5"};
-
-    unsigned i = 0;
-    for (const WorkloadId wl : allWorkloads()) {
-        const FunctionalResult r =
-            runConventionalBtbStudy(wl, 1024, 4, 64, /*with_l1i=*/true,
-                                    fc);
-        report.addRow({workloadName(wl), paper_static[i],
-                       Report::num(r.staticDensity(), 1),
-                       paper_dynamic[i],
-                       Report::num(r.dynamicDensity(), 1)});
-        ++i;
-    }
-    report.print();
-    return 0;
+    return cfl::bench::runFigureMain("table2", argc, argv);
 }

@@ -54,6 +54,33 @@ Report::render() const
     return out.str();
 }
 
+std::string
+Report::csv() const
+{
+    auto escape = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (const char c : cell) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            out << escape(cells[c]) << (c + 1 == cells.size() ? "\n" : ",");
+    };
+    emit_row(columns_);
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
 void
 Report::print() const
 {

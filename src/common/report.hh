@@ -30,6 +30,13 @@ class Report
     /** Render and write to stdout. */
     void print() const;
 
+    /**
+     * Render as RFC-4180-style CSV: a header row of column names, then
+     * the data rows. No title line — the output is meant for machines
+     * (spreadsheets, plotting scripts), not for reading.
+     */
+    std::string csv() const;
+
     /** Format a double with @p precision fraction digits. */
     static std::string num(double v, int precision = 2);
 

@@ -24,6 +24,45 @@ frontendKindName(FrontendKind kind)
     return "?";
 }
 
+std::string
+frontendKindSlug(FrontendKind kind)
+{
+    switch (kind) {
+      case FrontendKind::Baseline: return "baseline";
+      case FrontendKind::Fdp: return "fdp";
+      case FrontendKind::PhantomFdp: return "phantom_fdp";
+      case FrontendKind::TwoLevelFdp: return "two_level_fdp";
+      case FrontendKind::PhantomShift: return "phantom_shift";
+      case FrontendKind::TwoLevelShift: return "two_level_shift";
+      case FrontendKind::IdealBtbShift: return "ideal_btb_shift";
+      case FrontendKind::Confluence: return "confluence";
+      case FrontendKind::Ideal: return "ideal";
+    }
+    return "?";
+}
+
+FrontendKind
+frontendKindFromSlug(const std::string &slug)
+{
+    for (const FrontendKind kind : allFrontendKinds())
+        if (frontendKindSlug(kind) == slug)
+            return kind;
+    cfl_fatal("unknown front-end kind \"%s\"", slug.c_str());
+}
+
+const std::vector<FrontendKind> &
+allFrontendKinds()
+{
+    static const std::vector<FrontendKind> kAll = {
+        FrontendKind::Baseline,       FrontendKind::Fdp,
+        FrontendKind::PhantomFdp,     FrontendKind::TwoLevelFdp,
+        FrontendKind::PhantomShift,   FrontendKind::TwoLevelShift,
+        FrontendKind::IdealBtbShift,  FrontendKind::Confluence,
+        FrontendKind::Ideal,
+    };
+    return kAll;
+}
+
 bool
 usesShift(FrontendKind kind)
 {

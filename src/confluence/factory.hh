@@ -61,6 +61,15 @@ enum class FrontendKind
 /** Display name as used in the paper's figures. */
 std::string frontendKindName(FrontendKind kind);
 
+/** Machine-friendly name ("two_level_shift") for files and CLIs. */
+std::string frontendKindSlug(FrontendKind kind);
+
+/** Inverse of frontendKindSlug; fatal() on an unknown slug. */
+FrontendKind frontendKindFromSlug(const std::string &slug);
+
+/** All design points, in the enum's (paper) order. */
+const std::vector<FrontendKind> &allFrontendKinds();
+
 /** True if the design point uses SHIFT for instruction prefetching. */
 bool usesShift(FrontendKind kind);
 

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/logging.hh"
+
 namespace cfl
 {
 
@@ -26,17 +28,16 @@ paperSystemConfig()
 }
 
 RunScale
-currentScale()
+scaleByName(const std::string &name)
 {
     // Warmup must touch the workload's full instruction working set (a
     // few hundred requests) so measured misses are recurrence misses,
     // not compulsory cold misses — the regime the paper measures from
     // warmed SimFlex checkpoints.
     RunScale scale;
-    const char *env = std::getenv("CONFLUENCE_SCALE");
-    if (env == nullptr || std::strcmp(env, "default") == 0)
+    if (name == "default")
         return scale;
-    if (std::strcmp(env, "quick") == 0) {
+    if (name == "quick") {
         scale.timingWarmupInsts = 800'000;
         scale.timingMeasureInsts = 400'000;
         scale.timingCores = 1;
@@ -44,7 +45,7 @@ currentScale()
         scale.functionalMeasureInsts = 2'000'000;
         return scale;
     }
-    if (std::strcmp(env, "full") == 0) {
+    if (name == "full") {
         scale.timingWarmupInsts = 3'000'000;
         scale.timingMeasureInsts = 3'000'000;
         scale.timingCores = 16;
@@ -52,7 +53,22 @@ currentScale()
         scale.functionalMeasureInsts = 16'000'000;
         return scale;
     }
-    return scale;
+    cfl_fatal("unknown scale \"%s\" (expected quick, default, or full)",
+              name.c_str());
+}
+
+RunScale
+currentScale()
+{
+    const char *env = std::getenv("CONFLUENCE_SCALE");
+    if (env == nullptr)
+        return RunScale{};
+    // Unknown values fall back to the default scale rather than
+    // aborting, matching the engine's historic leniency for this knob.
+    for (const char *known : {"quick", "default", "full"})
+        if (std::strcmp(env, known) == 0)
+            return scaleByName(env);
+    return RunScale{};
 }
 
 FunctionalConfig

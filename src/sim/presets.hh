@@ -35,6 +35,10 @@ SystemConfig makeSystemConfig(unsigned num_cores);
 /** The paper's full 16-core configuration. */
 SystemConfig paperSystemConfig();
 
+/** Scale preset by name ("quick", "default", "full"); fatal() on an
+ *  unknown name. */
+RunScale scaleByName(const std::string &name);
+
 /** Current run scale (honors CONFLUENCE_SCALE). */
 RunScale currentScale();
 

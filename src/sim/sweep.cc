@@ -134,10 +134,17 @@ sweepPointSeed(FrontendKind kind, WorkloadId workload)
 const SweepOutcome *
 SweepResult::find(FrontendKind kind, WorkloadId workload) const
 {
-    for (const SweepOutcome &o : points)
-        if (o.point.kind == kind && o.point.workload == workload)
-            return &o;
-    return nullptr;
+    const SweepOutcome *hit = nullptr;
+    for (const SweepOutcome &o : points) {
+        if (o.point.kind != kind || o.point.workload != workload)
+            continue;
+        cfl_assert(hit == nullptr,
+                   "duplicate sweep point (%s, %s) — shard merged twice?",
+                   frontendKindName(kind).c_str(),
+                   workloadSlug(workload).c_str());
+        hit = &o;
+    }
+    return hit;
 }
 
 double

@@ -156,7 +156,8 @@ struct SweepResult
 {
     std::vector<SweepOutcome> points;
 
-    /** First outcome matching (kind, workload); nullptr if absent. */
+    /** The outcome matching (kind, workload); nullptr if absent. Panics
+     *  on a duplicate match, which means a shard was merged twice. */
     const SweepOutcome *find(FrontendKind kind, WorkloadId workload) const;
 
     /** Mean IPC of the (kind, workload) point; panics if absent. */

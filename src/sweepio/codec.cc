@@ -1,0 +1,396 @@
+#include "sweepio/codec.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace cfl::sweepio
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Encoding. Field order is fixed so equal values encode to equal bytes
+// (shard files concatenate into the same text a whole-sweep dump emits).
+// ---------------------------------------------------------------------------
+
+void
+appendScale(std::ostringstream &out, const RunScale &scale)
+{
+    out << "{\"timing_warmup\":" << scale.timingWarmupInsts
+        << ",\"timing_measure\":" << scale.timingMeasureInsts
+        << ",\"timing_cores\":" << scale.timingCores
+        << ",\"functional_warmup\":" << scale.functionalWarmupInsts
+        << ",\"functional_measure\":" << scale.functionalMeasureInsts
+        << "}";
+}
+
+void
+appendPoint(std::ostringstream &out, const SweepPoint &point)
+{
+    out << "{\"kind\":\"" << frontendKindSlug(point.kind)
+        << "\",\"workload\":\"" << workloadSlug(point.workload)
+        << "\",\"scale\":";
+    appendScale(out, point.scale);
+    out << "}";
+}
+
+void
+appendCore(std::ostringstream &out, const CoreMetrics &core)
+{
+    out << "{\"retired\":" << core.retired
+        << ",\"cycles\":" << core.cycles
+        << ",\"btb_taken_lookups\":" << core.btbTakenLookups
+        << ",\"btb_taken_misses\":" << core.btbTakenMisses
+        << ",\"misfetches\":" << core.misfetches
+        << ",\"cond_mispredicts\":" << core.condMispredicts
+        << ",\"l1i_demand_fetches\":" << core.l1iDemandFetches
+        << ",\"l1i_demand_misses\":" << core.l1iDemandMisses
+        << ",\"l1i_in_flight_hits\":" << core.l1iInFlightHits
+        << ",\"btb_l2_stall_cycles\":" << core.btbL2StallCycles
+        << ",\"fetch_miss_stall_cycles\":" << core.fetchMissStallCycles
+        << "}";
+}
+
+// ---------------------------------------------------------------------------
+// Decoding: a recursive-descent parser for the subset of JSON the codec
+// emits (objects, arrays, strings without escapes, unsigned integers).
+// ---------------------------------------------------------------------------
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    void expect(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    /** True (and consumes) if the next non-space char is @p c. */
+    bool accept(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string string()
+    {
+        expect('"');
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                fail("escape sequences are not supported");
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        return text_.substr(start, pos_++ - start);
+    }
+
+    std::uint64_t number()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected an unsigned integer");
+        const std::string digits = text_.substr(start, pos_ - start);
+        try {
+            return std::stoull(digits);
+        } catch (const std::out_of_range &) {
+            fail("integer \"" + digits + "\" does not fit in 64 bits");
+        }
+    }
+
+    /** Key of the next "key": pair. */
+    std::string key()
+    {
+        std::string k = string();
+        expect(':');
+        return k;
+    }
+
+    /** "key" with the expected name, then ':'. */
+    void namedKey(const char *name)
+    {
+        const std::string k = key();
+        if (k != name)
+            fail("expected key \"" + std::string(name) + "\", got \"" +
+                 k + "\"");
+    }
+
+    std::uint64_t namedNumber(const char *name)
+    {
+        namedKey(name);
+        return number();
+    }
+
+    std::string namedString(const char *name)
+    {
+        namedKey(name);
+        return string();
+    }
+
+    void end()
+    {
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+    }
+
+  private:
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    [[noreturn]] void fail(const std::string &msg)
+    {
+        cfl_fatal("malformed sweep JSON at offset %zu: %s", pos_,
+                  msg.c_str());
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+RunScale
+parseScale(Parser &p)
+{
+    RunScale scale;
+    p.expect('{');
+    scale.timingWarmupInsts = p.namedNumber("timing_warmup");
+    p.expect(',');
+    scale.timingMeasureInsts = p.namedNumber("timing_measure");
+    p.expect(',');
+    scale.timingCores =
+        static_cast<unsigned>(p.namedNumber("timing_cores"));
+    p.expect(',');
+    scale.functionalWarmupInsts = p.namedNumber("functional_warmup");
+    p.expect(',');
+    scale.functionalMeasureInsts = p.namedNumber("functional_measure");
+    p.expect('}');
+    return scale;
+}
+
+SweepPoint
+parsePoint(Parser &p)
+{
+    SweepPoint point;
+    p.expect('{');
+    point.kind = frontendKindFromSlug(p.namedString("kind"));
+    p.expect(',');
+    point.workload = workloadFromSlug(p.namedString("workload"));
+    p.expect(',');
+    p.namedKey("scale");
+    point.scale = parseScale(p);
+    p.expect('}');
+    return point;
+}
+
+CoreMetrics
+parseCore(Parser &p)
+{
+    CoreMetrics core;
+    p.expect('{');
+    core.retired = p.namedNumber("retired");
+    p.expect(',');
+    core.cycles = p.namedNumber("cycles");
+    p.expect(',');
+    core.btbTakenLookups = p.namedNumber("btb_taken_lookups");
+    p.expect(',');
+    core.btbTakenMisses = p.namedNumber("btb_taken_misses");
+    p.expect(',');
+    core.misfetches = p.namedNumber("misfetches");
+    p.expect(',');
+    core.condMispredicts = p.namedNumber("cond_mispredicts");
+    p.expect(',');
+    core.l1iDemandFetches = p.namedNumber("l1i_demand_fetches");
+    p.expect(',');
+    core.l1iDemandMisses = p.namedNumber("l1i_demand_misses");
+    p.expect(',');
+    core.l1iInFlightHits = p.namedNumber("l1i_in_flight_hits");
+    p.expect(',');
+    core.btbL2StallCycles = p.namedNumber("btb_l2_stall_cycles");
+    p.expect(',');
+    core.fetchMissStallCycles = p.namedNumber("fetch_miss_stall_cycles");
+    p.expect('}');
+    return core;
+}
+
+SweepOutcome
+parseOutcome(Parser &p)
+{
+    SweepOutcome out;
+    p.expect('{');
+    p.namedKey("point");
+    out.point = parsePoint(p);
+    p.expect(',');
+    out.seed = p.namedNumber("seed");
+    p.expect(',');
+    p.namedKey("metrics");
+    p.expect('{');
+    p.namedKey("cores");
+    p.expect('[');
+    if (!p.accept(']')) {
+        do {
+            out.metrics.cores.push_back(parseCore(p));
+        } while (p.accept(','));
+        p.expect(']');
+    }
+    p.expect('}');
+    p.expect('}');
+    return out;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        cfl_fatal("cannot open \"%s\" for reading", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+void
+spill(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        cfl_fatal("cannot open \"%s\" for writing", path.c_str());
+    out << text;
+    if (!out.flush())
+        cfl_fatal("failed writing \"%s\"", path.c_str());
+}
+
+/** Apply @p fn to every non-blank line of @p text. */
+template <typename Fn>
+void
+forEachLine(const std::string &text, Fn &&fn)
+{
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        fn(line);
+    }
+}
+
+} // namespace
+
+std::string
+encodePoint(const SweepPoint &point)
+{
+    std::ostringstream out;
+    appendPoint(out, point);
+    return out.str();
+}
+
+SweepPoint
+decodePoint(const std::string &line)
+{
+    Parser p(line);
+    const SweepPoint point = parsePoint(p);
+    p.end();
+    return point;
+}
+
+std::string
+encodeOutcome(const SweepOutcome &outcome)
+{
+    std::ostringstream out;
+    out << "{\"point\":";
+    appendPoint(out, outcome.point);
+    out << ",\"seed\":" << outcome.seed << ",\"metrics\":{\"cores\":[";
+    for (std::size_t i = 0; i < outcome.metrics.cores.size(); ++i) {
+        if (i > 0)
+            out << ",";
+        appendCore(out, outcome.metrics.cores[i]);
+    }
+    out << "]}}";
+    return out.str();
+}
+
+SweepOutcome
+decodeOutcome(const std::string &line)
+{
+    Parser p(line);
+    const SweepOutcome outcome = parseOutcome(p);
+    p.end();
+    return outcome;
+}
+
+std::string
+encodeResult(const SweepResult &result)
+{
+    std::string text;
+    for (const SweepOutcome &o : result.points) {
+        text += encodeOutcome(o);
+        text += '\n';
+    }
+    return text;
+}
+
+SweepResult
+decodeResult(const std::string &text)
+{
+    SweepResult result;
+    forEachLine(text, [&](const std::string &line) {
+        result.points.push_back(decodeOutcome(line));
+    });
+    return result;
+}
+
+void
+writePoints(const std::string &path, const std::vector<SweepPoint> &points)
+{
+    std::string text;
+    for (const SweepPoint &p : points) {
+        text += encodePoint(p);
+        text += '\n';
+    }
+    spill(path, text);
+}
+
+std::vector<SweepPoint>
+readPoints(const std::string &path)
+{
+    std::vector<SweepPoint> points;
+    forEachLine(slurp(path), [&](const std::string &line) {
+        points.push_back(decodePoint(line));
+    });
+    return points;
+}
+
+void
+writeResult(const std::string &path, const SweepResult &result)
+{
+    spill(path, encodeResult(result));
+}
+
+SweepResult
+readResult(const std::string &path)
+{
+    return decodeResult(slurp(path));
+}
+
+} // namespace cfl::sweepio

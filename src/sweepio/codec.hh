@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Line-oriented JSON codec for sweep specs and sweep results.
+ *
+ * A sweep spec is one SweepPoint per line; a sweep result is one
+ * SweepOutcome per line. Every serialized field is an enum slug or an
+ * unsigned integer (CoreMetrics is pure counters), so a round trip is
+ * bit-identical by construction — no floating-point formatting is
+ * involved anywhere. That property is what lets a sharded, multi-process
+ * sweep reproduce the single-process result exactly (tools/
+ * confluence_sweep.cc), and it is pinned by tests/test_sweepio.cc.
+ *
+ * The line-oriented layout (JSONL) keeps the format mergeable with
+ * plain text tools: concatenating shard files is itself a valid result
+ * file, and a shard can be streamed without loading the whole sweep.
+ */
+
+#ifndef CFL_SWEEPIO_CODEC_HH
+#define CFL_SWEEPIO_CODEC_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace cfl::sweepio
+{
+
+/** One spec line ({"kind":...,"workload":...,"scale":{...}}). */
+std::string encodePoint(const SweepPoint &point);
+
+/** Parse one spec line; fatal() on malformed input. */
+SweepPoint decodePoint(const std::string &line);
+
+/** One result line ({"point":...,"seed":...,"metrics":{"cores":[...]}}). */
+std::string encodeOutcome(const SweepOutcome &outcome);
+
+/** Parse one result line; fatal() on malformed input. */
+SweepOutcome decodeOutcome(const std::string &line);
+
+/** Whole result as JSONL text (one outcome per line). */
+std::string encodeResult(const SweepResult &result);
+
+/** Parse JSONL result text; blank lines are skipped. */
+SweepResult decodeResult(const std::string &text);
+
+/** Write a spec file, one point per line. */
+void writePoints(const std::string &path,
+                 const std::vector<SweepPoint> &points);
+
+/** Read a spec file; fatal() if the file cannot be opened. */
+std::vector<SweepPoint> readPoints(const std::string &path);
+
+/** Write a result file, one outcome per line. */
+void writeResult(const std::string &path, const SweepResult &result);
+
+/** Read a result file; fatal() if the file cannot be opened. */
+SweepResult readResult(const std::string &path);
+
+} // namespace cfl::sweepio
+
+#endif // CFL_SWEEPIO_CODEC_HH

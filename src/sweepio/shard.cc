@@ -1,0 +1,54 @@
+#include "sweepio/shard.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace cfl::sweepio
+{
+
+ShardSpec
+parseShardSpec(const std::string &spec)
+{
+    const std::size_t slash = spec.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 == spec.size())
+        cfl_fatal("shard spec must be \"i/N\", got \"%s\"", spec.c_str());
+
+    char *end = nullptr;
+    const std::string index_str = spec.substr(0, slash);
+    const std::string count_str = spec.substr(slash + 1);
+    const long index = std::strtol(index_str.c_str(), &end, 10);
+    if (*end != '\0' || index < 0)
+        cfl_fatal("shard spec must be \"i/N\", got \"%s\"", spec.c_str());
+    const long count = std::strtol(count_str.c_str(), &end, 10);
+    if (*end != '\0' || count < 1)
+        cfl_fatal("shard spec must be \"i/N\", got \"%s\"", spec.c_str());
+    if (index >= count)
+        cfl_fatal("shard index %ld out of range for %ld shards",
+                  index, count);
+
+    return {static_cast<unsigned>(index), static_cast<unsigned>(count)};
+}
+
+std::vector<SweepPoint>
+shardPoints(const std::vector<SweepPoint> &points, unsigned index,
+            unsigned count)
+{
+    cfl_assert(count >= 1, "shard count must be at least 1");
+    cfl_assert(index < count, "shard index %u out of range for %u shards",
+               index, count);
+
+    const std::size_t m = points.size();
+    const std::size_t begin = m * index / count;
+    const std::size_t end = m * (index + 1) / count;
+    return {points.begin() + begin, points.begin() + end};
+}
+
+std::vector<SweepPoint>
+shardPoints(const std::vector<SweepPoint> &points, const ShardSpec &spec)
+{
+    return shardPoints(points, spec.index, spec.count);
+}
+
+} // namespace cfl::sweepio

@@ -47,6 +47,15 @@ workloadSlug(WorkloadId id)
     return "?";
 }
 
+WorkloadId
+workloadFromSlug(const std::string &slug)
+{
+    for (const WorkloadId id : allWorkloads())
+        if (workloadSlug(id) == slug)
+            return id;
+    cfl_fatal("unknown workload \"%s\"", slug.c_str());
+}
+
 WorkloadParams
 workloadParams(WorkloadId id)
 {

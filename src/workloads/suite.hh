@@ -46,6 +46,9 @@ std::string workloadName(WorkloadId id);
 /** Machine-friendly name ("oltp_db2"). */
 std::string workloadSlug(WorkloadId id);
 
+/** Inverse of workloadSlug; fatal() on an unknown slug. */
+WorkloadId workloadFromSlug(const std::string &slug);
+
 /** Generator parameters for a preset. */
 WorkloadParams workloadParams(WorkloadId id);
 

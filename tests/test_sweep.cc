@@ -254,6 +254,29 @@ TEST(Sweep, AggregationMatchesMetricsHelpers)
         1.0);
 }
 
+TEST(Sweep, FindPanicsOnDuplicatePoints)
+{
+    // A result holding the same (kind, workload) twice means a shard
+    // was merged twice; find must fail loudly, not return the first
+    // copy silently.
+    SweepEngine engine(1);
+    const SystemConfig cfg = makeSystemConfig(1);
+    const RunScale scale = tinyScale();
+    SweepResult a = runTimingSweep({FrontendKind::Baseline},
+                                   {WorkloadId::DssQry}, cfg, scale,
+                                   engine);
+    SweepResult b = runTimingSweep({FrontendKind::Baseline},
+                                   {WorkloadId::DssQry}, cfg, scale,
+                                   engine);
+    a.merge(std::move(b));
+    ASSERT_EQ(a.points.size(), 2u);
+    EXPECT_DEATH(a.find(FrontendKind::Baseline, WorkloadId::DssQry),
+                 "duplicate sweep point");
+
+    // Distinct points keep working even with the duplicate present.
+    EXPECT_EQ(a.find(FrontendKind::Ideal, WorkloadId::DssQry), nullptr);
+}
+
 TEST(Sweep, MergeAppendsOutcomes)
 {
     SweepEngine engine(2);

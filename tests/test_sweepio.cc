@@ -1,0 +1,284 @@
+/**
+ * @file Tests for the sweep serialization layer: codec round trips,
+ * shard partition invariants, and the headline guarantee that a
+ * sharded, file-mediated sweep merges into a result bit-identical to
+ * the unsharded in-process run (the contract tools/confluence_sweep.cc
+ * is built on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "sim/metrics.hh"
+#include "sweepio/codec.hh"
+#include "sweepio/shard.hh"
+
+using namespace cfl;
+using namespace cfl::sweepio;
+
+namespace
+{
+
+/** The CONFLUENCE_SCALE=quick timing preset, spelled out so these tests
+ *  can reuse test_calibration.cc's golden values regardless of the test
+ *  process's environment. */
+RunScale
+quickScale()
+{
+    RunScale scale;
+    scale.timingWarmupInsts = 800'000;
+    scale.timingMeasureInsts = 400'000;
+    scale.timingCores = 1;
+    return scale;
+}
+
+std::vector<SweepPoint>
+goldenPoints()
+{
+    std::vector<SweepPoint> points;
+    for (const FrontendKind kind :
+         {FrontendKind::Baseline, FrontendKind::Confluence})
+        for (const WorkloadId wl :
+             {WorkloadId::DssQry, WorkloadId::WebFrontend})
+            points.push_back({kind, wl, quickScale()});
+    return points;
+}
+
+void
+expectScaleEq(const RunScale &a, const RunScale &b)
+{
+    EXPECT_EQ(a.timingWarmupInsts, b.timingWarmupInsts);
+    EXPECT_EQ(a.timingMeasureInsts, b.timingMeasureInsts);
+    EXPECT_EQ(a.timingCores, b.timingCores);
+    EXPECT_EQ(a.functionalWarmupInsts, b.functionalWarmupInsts);
+    EXPECT_EQ(a.functionalMeasureInsts, b.functionalMeasureInsts);
+}
+
+void
+expectPointEq(const SweepPoint &a, const SweepPoint &b)
+{
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.workload, b.workload);
+    expectScaleEq(a.scale, b.scale);
+}
+
+/** Every serialized field must survive exactly — no tolerances. */
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        const SweepOutcome &x = a.points[i];
+        const SweepOutcome &y = b.points[i];
+        expectPointEq(x.point, y.point);
+        EXPECT_EQ(x.seed, y.seed);
+        ASSERT_EQ(x.metrics.cores.size(), y.metrics.cores.size());
+        for (std::size_t c = 0; c < x.metrics.cores.size(); ++c) {
+            const CoreMetrics &m = x.metrics.cores[c];
+            const CoreMetrics &n = y.metrics.cores[c];
+            EXPECT_EQ(m.retired, n.retired);
+            EXPECT_EQ(m.cycles, n.cycles);
+            EXPECT_EQ(m.btbTakenLookups, n.btbTakenLookups);
+            EXPECT_EQ(m.btbTakenMisses, n.btbTakenMisses);
+            EXPECT_EQ(m.misfetches, n.misfetches);
+            EXPECT_EQ(m.condMispredicts, n.condMispredicts);
+            EXPECT_EQ(m.l1iDemandFetches, n.l1iDemandFetches);
+            EXPECT_EQ(m.l1iDemandMisses, n.l1iDemandMisses);
+            EXPECT_EQ(m.l1iInFlightHits, n.l1iInFlightHits);
+            EXPECT_EQ(m.btbL2StallCycles, n.btbL2StallCycles);
+            EXPECT_EQ(m.fetchMissStallCycles, n.fetchMissStallCycles);
+        }
+        EXPECT_DOUBLE_EQ(x.metrics.meanIpc(), y.metrics.meanIpc());
+        EXPECT_DOUBLE_EQ(x.metrics.meanBtbMpki(), y.metrics.meanBtbMpki());
+    }
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "sweepio_" + name;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Codec round trips
+// ---------------------------------------------------------------------------
+
+TEST(SweepioCodec, PointRoundTripsEveryCoordinate)
+{
+    RunScale scale;
+    scale.timingWarmupInsts = 123;
+    scale.timingMeasureInsts = 456;
+    scale.timingCores = 7;
+    scale.functionalWarmupInsts = 89;
+    scale.functionalMeasureInsts = 1011;
+
+    for (const FrontendKind kind : allFrontendKinds()) {
+        for (const WorkloadId wl : allWorkloads()) {
+            const SweepPoint point{kind, wl, scale};
+            const SweepPoint back = decodePoint(encodePoint(point));
+            expectPointEq(point, back);
+        }
+    }
+}
+
+TEST(SweepioCodec, SlugsRoundTrip)
+{
+    for (const FrontendKind kind : allFrontendKinds())
+        EXPECT_EQ(frontendKindFromSlug(frontendKindSlug(kind)), kind);
+    for (const WorkloadId wl : allWorkloads())
+        EXPECT_EQ(workloadFromSlug(workloadSlug(wl)), wl);
+}
+
+TEST(SweepioCodec, OutcomeRoundTripIsBitIdentical)
+{
+    SweepOutcome outcome;
+    outcome.point = {FrontendKind::TwoLevelShift, WorkloadId::OltpOracle,
+                     quickScale()};
+    outcome.seed = 0xdeadbeefcafe1234ull;
+    // Distinct values in every counter so a field swap can't hide.
+    CoreMetrics core;
+    core.retired = 1;
+    core.cycles = 2;
+    core.btbTakenLookups = 3;
+    core.btbTakenMisses = 4;
+    core.misfetches = 5;
+    core.condMispredicts = 6;
+    core.l1iDemandFetches = 7;
+    core.l1iDemandMisses = 8;
+    core.l1iInFlightHits = 9;
+    core.btbL2StallCycles = 10;
+    core.fetchMissStallCycles = 11;
+    outcome.metrics.cores.push_back(core);
+    core.retired = ~0ull; // 64-bit extremes must survive too
+    outcome.metrics.cores.push_back(core);
+
+    SweepResult result;
+    result.points.push_back(outcome);
+    const SweepResult back = decodeResult(encodeResult(result));
+    expectIdentical(result, back);
+
+    // The encoding itself is stable: re-encoding reproduces the bytes.
+    EXPECT_EQ(encodeResult(back), encodeResult(result));
+}
+
+TEST(SweepioCodec, SpecFileRoundTrips)
+{
+    const std::string path = tmpPath("spec.jsonl");
+    const std::vector<SweepPoint> points = goldenPoints();
+    writePoints(path, points);
+    const std::vector<SweepPoint> back = readPoints(path);
+    ASSERT_EQ(back.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        expectPointEq(points[i], back[i]);
+    std::remove(path.c_str());
+}
+
+TEST(SweepioCodec, MalformedLineIsFatal)
+{
+    EXPECT_EXIT(decodePoint("{\"kind\":\"baseline\""),
+                ::testing::ExitedWithCode(1), "malformed sweep JSON");
+    EXPECT_EXIT(decodePoint("{\"kind\":\"no_such_design\",\"workload\":"
+                            "\"dss_qry\",\"scale\":{}}"),
+                ::testing::ExitedWithCode(1), "unknown front-end kind");
+    EXPECT_EXIT(readPoints("/nonexistent/sweep/spec.jsonl"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+// ---------------------------------------------------------------------------
+// Shard partitioning
+// ---------------------------------------------------------------------------
+
+TEST(SweepioShard, ParseShardSpec)
+{
+    const ShardSpec s = parseShardSpec("2/5");
+    EXPECT_EQ(s.index, 2u);
+    EXPECT_EQ(s.count, 5u);
+
+    EXPECT_EXIT(parseShardSpec("5/5"), ::testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(parseShardSpec("nonsense"), ::testing::ExitedWithCode(1),
+                "shard spec");
+    EXPECT_EXIT(parseShardSpec("1/"), ::testing::ExitedWithCode(1),
+                "shard spec");
+    EXPECT_EXIT(parseShardSpec("/2"), ::testing::ExitedWithCode(1),
+                "shard spec");
+}
+
+TEST(SweepioShard, PartitionIsAnOrderedDisjointCover)
+{
+    // Build m distinguishable points: workload cycles through the suite
+    // and the scale's warmup field carries the original index.
+    for (std::size_t m = 0; m <= 9; ++m) {
+        std::vector<SweepPoint> points;
+        for (std::size_t i = 0; i < m; ++i) {
+            SweepPoint p{FrontendKind::Baseline,
+                         allWorkloads()[i % allWorkloads().size()],
+                         quickScale()};
+            p.scale.timingWarmupInsts = i;
+            points.push_back(p);
+        }
+
+        for (unsigned n = 1; n <= 4; ++n) {
+            std::vector<SweepPoint> reunion;
+            std::size_t min_size = m, max_size = 0;
+            for (unsigned shard = 0; shard < n; ++shard) {
+                const auto part = shardPoints(points, shard, n);
+                min_size = std::min(min_size, part.size());
+                max_size = std::max(max_size, part.size());
+                reunion.insert(reunion.end(), part.begin(), part.end());
+            }
+            // Concatenating the shards in order reproduces the spec
+            // exactly: same points, same submission order.
+            ASSERT_EQ(reunion.size(), m);
+            for (std::size_t i = 0; i < m; ++i)
+                EXPECT_EQ(reunion[i].scale.timingWarmupInsts, i);
+            // Balanced: shard sizes differ by at most one.
+            if (m > 0) {
+                EXPECT_LE(max_size - min_size, 1u);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The headline invariant: shards through files == whole sweep in memory
+// ---------------------------------------------------------------------------
+
+TEST(SweepioShard, TwoShardFileMergeMatchesWholeSweep)
+{
+    const SystemConfig config = makeSystemConfig(1);
+    const std::vector<SweepPoint> points = goldenPoints();
+
+    // Unsharded reference, all points in one in-process sweep.
+    SweepEngine whole_engine(2);
+    const SweepResult whole =
+        runTimingSweep(points, config, whole_engine);
+
+    // Each shard runs on its own engine — separate processes in the
+    // real workflow — and round-trips its result through a file.
+    SweepResult merged;
+    for (unsigned shard = 0; shard < 2; ++shard) {
+        SweepEngine engine(2);
+        const SweepResult part = runTimingSweep(
+            shardPoints(points, shard, 2), config, engine);
+        const std::string path =
+            tmpPath("shard" + std::to_string(shard) + ".jsonl");
+        writeResult(path, part);
+        merged.merge(readResult(path));
+        std::remove(path.c_str());
+    }
+
+    // Per-point metrics (and their order) are bit-identical.
+    expectIdentical(whole, merged);
+
+    // And the merged result reproduces the golden quick-scale geomean
+    // pinned in test_calibration.cc.
+    EXPECT_NEAR(merged.geomeanSpeedup(FrontendKind::Confluence,
+                                      FrontendKind::Baseline),
+                1.217584361106137, 1e-9);
+}
