@@ -1,0 +1,391 @@
+/**
+ * @file
+ * End-to-end simulator performance harness.
+ *
+ * Times the Figure-6 comparison sweep — the workhorse experiment every
+ * figure bench, calibration test, and sharded run is built from — and
+ * records the repo's perf trajectory in a small JSON file
+ * (BENCH_sweep.json). Two phases are measured:
+ *
+ *   live    — the trace cache is disabled: every sweep point
+ *             re-synthesizes its oracle stream, the pre-trace-cache
+ *             behaviour;
+ *   cached  — the trace cache is enabled and warmed: points replay
+ *             shared immutable traces (the steady state for repeated
+ *             sweeps, figure benches, and calibration runs).
+ *
+ * The harness also counts heap allocations (a global operator new hook)
+ * over the final timed iteration, reporting allocations per thousand
+ * simulated instructions; a steady-state replay path that allocates per
+ * instruction shows up here as a number in the hundreds instead of the
+ * single digits.
+ *
+ * Usage:
+ *   perf_harness [--smoke] [--iters N] [--out PATH]
+ *                [--compare BASELINE [--min-ratio R]]
+ *
+ *   --smoke     small point grid and budgets (CI-sized)
+ *   --iters     timing iterations per phase, best-of-N (default 3)
+ *   --out       JSON output path (default BENCH_sweep.json)
+ *   --compare   fail (exit 1) if cached points/sec drops below
+ *               R x the baseline file's value (default R = 0.8)
+ *
+ * Results are checked bit-identical across the two phases before
+ * anything is written: a harness that made the simulator faster but
+ * wrong must fail loudly.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/presets.hh"
+#include "sim/sweep.hh"
+
+// The harness is also built against the pre-trace-cache tree to record
+// before/after numbers; the cache hooks degrade to no-ops there.
+#if __has_include("trace/trace_cache.hh")
+#include "trace/trace_cache.hh"
+#define CFL_HAS_TRACE_CACHE 1
+#else
+#define CFL_HAS_TRACE_CACHE 0
+#endif
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (this binary only).
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_allocCount{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size == 0 ? 1 : size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace cfl;
+using Clock = std::chrono::steady_clock;
+
+struct PhaseResult
+{
+    double seconds = 0.0;
+    double pointsPerSec = 0.0;
+    double minstsPerSec = 0.0;
+    double geomean = 0.0;  ///< Confluence-vs-Baseline identity check
+};
+
+struct HarnessConfig
+{
+    bool smoke = false;
+    unsigned iters = 3;
+    std::string outPath = "BENCH_sweep.json";
+    std::string comparePath;
+    double minRatio = 0.8;
+};
+
+std::vector<SweepPoint>
+buildPoints(const HarnessConfig &cfg, RunScale &scale_out)
+{
+    std::vector<FrontendKind> kinds;
+    std::vector<WorkloadId> workloads;
+    if (cfg.smoke) {
+        kinds = {FrontendKind::Baseline, FrontendKind::Confluence};
+        workloads = {WorkloadId::DssQry, WorkloadId::WebFrontend};
+        scale_out = scaleByName("quick");
+        scale_out.timingWarmupInsts = 300'000;
+        scale_out.timingMeasureInsts = 150'000;
+    } else {
+        // The Figure 6 grid: every compared front end over the suite.
+        kinds = {
+            FrontendKind::Baseline,      FrontendKind::Fdp,
+            FrontendKind::PhantomFdp,    FrontendKind::TwoLevelFdp,
+            FrontendKind::TwoLevelShift, FrontendKind::Confluence,
+            FrontendKind::Ideal,
+        };
+        workloads = allWorkloads();
+        scale_out = scaleByName("quick");
+    }
+
+    std::vector<SweepPoint> points;
+    points.reserve(kinds.size() * workloads.size());
+    for (const FrontendKind kind : kinds)
+        for (const WorkloadId wl : workloads)
+            points.push_back({kind, wl, scale_out});
+    return points;
+}
+
+double
+runOnce(const std::vector<SweepPoint> &points, const SystemConfig &config,
+        SweepEngine &engine, double *geomean_out)
+{
+    const auto start = Clock::now();
+    const SweepResult result = runTimingSweep(points, config, engine);
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    if (geomean_out != nullptr)
+        *geomean_out = result.geomeanSpeedup(FrontendKind::Confluence,
+                                             FrontendKind::Baseline);
+    return elapsed.count();
+}
+
+void
+setTraceCacheEnabled(bool enabled)
+{
+#if CFL_HAS_TRACE_CACHE
+    // 0 disables; otherwise restore a budget comfortably above the
+    // harness working set so the cached phase never evicts.
+    traceCache().setBudgetBytes(enabled ? (1ull << 30) : 0);
+#else
+    (void)enabled;
+#endif
+}
+
+/** Minimal extractor: the number following "key": inside the object
+ *  after the first occurrence of "\"section\"". */
+double
+extractNumber(const std::string &text, const std::string &section,
+              const std::string &key)
+{
+    const std::size_t sec = text.find("\"" + section + "\"");
+    cfl_assert(sec != std::string::npos, "baseline JSON lacks \"%s\"",
+               section.c_str());
+    const std::size_t pos = text.find("\"" + key + "\":", sec);
+    cfl_assert(pos != std::string::npos, "baseline JSON lacks \"%s\"",
+               key.c_str());
+    return std::strtod(text.c_str() + pos + key.size() + 3, nullptr);
+}
+
+int
+harnessMain(const HarnessConfig &cfg)
+{
+    RunScale scale;
+    const std::vector<SweepPoint> points = buildPoints(cfg, scale);
+    const SystemConfig config = makeSystemConfig(scale.timingCores);
+    SweepEngine engine;
+
+    const double sim_insts_per_point =
+        static_cast<double>(scale.timingWarmupInsts +
+                            scale.timingMeasureInsts) *
+        scale.timingCores;
+    const double total_minsts =
+        sim_insts_per_point * points.size() / 1e6;
+
+    std::fprintf(stderr,
+                 "perf_harness: %zu points, %.1fM simulated insts per "
+                 "sweep, %u workers, %u iters per phase\n",
+                 points.size(), total_minsts, engine.jobs(), cfg.iters);
+
+    // Warm one-time process state (workload program synthesis, allocator
+    // arenas) outside both timed phases so live and cached measurements
+    // compare like for like.
+    for (const WorkloadId wl : allWorkloads())
+        (void)workloadProgram(wl);
+
+    // Phase 1: live generation (trace cache off) — the "before" shape.
+    // Best-of-N, same as the cached phase, for a fair comparison.
+    setTraceCacheEnabled(false);
+    PhaseResult live;
+    live.seconds = 1e300;
+    for (unsigned i = 0; i < cfg.iters; ++i) {
+        double geomean = 0.0;
+        const double s = runOnce(points, config, engine, &geomean);
+        if (i > 0)
+            cfl_assert(geomean == live.geomean, "live sweep not stable");
+        live.geomean = geomean;
+        if (s < live.seconds)
+            live.seconds = s;
+    }
+    live.pointsPerSec = points.size() / live.seconds;
+    live.minstsPerSec = total_minsts / live.seconds;
+    std::fprintf(stderr, "  live   : %7.2fs  %6.2f points/s  %7.2f "
+                 "Minsts/s\n", live.seconds, live.pointsPerSec,
+                 live.minstsPerSec);
+
+    // Phase 2: cached replay. The first run warms the cache (miss cost),
+    // then the timed iterations measure the shared-trace steady state.
+    setTraceCacheEnabled(true);
+    double warm_geomean = 0.0;
+    const double warm_seconds =
+        runOnce(points, config, engine, &warm_geomean);
+    cfl_assert(warm_geomean == live.geomean,
+               "cached sweep diverged from live sweep");
+
+    PhaseResult cached;
+    cached.seconds = 1e300;
+    std::uint64_t steady_allocs = 0;
+    for (unsigned i = 0; i < cfg.iters; ++i) {
+        const std::uint64_t allocs_before =
+            g_allocCount.load(std::memory_order_relaxed);
+        double geomean = 0.0;
+        const double s = runOnce(points, config, engine, &geomean);
+        steady_allocs = g_allocCount.load(std::memory_order_relaxed) -
+                        allocs_before;
+        cfl_assert(geomean == live.geomean,
+                   "cached sweep diverged from live sweep");
+        if (s < cached.seconds)
+            cached.seconds = s;  // best-of-N: least scheduler noise
+    }
+    cached.geomean = live.geomean;
+    cached.pointsPerSec = points.size() / cached.seconds;
+    cached.minstsPerSec = total_minsts / cached.seconds;
+    const double allocs_per_kinst =
+        steady_allocs / (total_minsts * 1000.0);
+    std::fprintf(stderr, "  cached : %7.2fs  %6.2f points/s  %7.2f "
+                 "Minsts/s  (warm %.2fs, %.1f allocs/kinst)\n",
+                 cached.seconds, cached.pointsPerSec, cached.minstsPerSec,
+                 warm_seconds, allocs_per_kinst);
+
+    std::uint64_t cache_hits = 0, cache_misses = 0, cache_bypasses = 0;
+#if CFL_HAS_TRACE_CACHE
+    cache_hits = traceCache().hits();
+    cache_misses = traceCache().misses();
+    cache_bypasses = traceCache().bypasses();
+#endif
+
+    std::ostringstream json;
+    json.precision(17);
+    json << "{\n"
+         << "  \"bench\": \"fig06_sweep\",\n"
+         << "  \"smoke\": " << (cfg.smoke ? "true" : "false") << ",\n"
+         << "  \"points\": " << points.size() << ",\n"
+         << "  \"sim_insts_per_point\": " << sim_insts_per_point << ",\n"
+         << "  \"jobs\": " << engine.jobs() << ",\n"
+         << "  \"iterations\": " << cfg.iters << ",\n"
+         << "  \"geomean_speedup\": " << live.geomean << ",\n"
+         << "  \"live\": {\"seconds\": " << live.seconds
+         << ", \"points_per_sec\": " << live.pointsPerSec
+         << ", \"minsts_per_sec\": " << live.minstsPerSec << "},\n"
+         << "  \"cached\": {\"seconds\": " << cached.seconds
+         << ", \"points_per_sec\": " << cached.pointsPerSec
+         << ", \"minsts_per_sec\": " << cached.minstsPerSec << "},\n"
+         << "  \"cache_speedup\": "
+         << cached.pointsPerSec / live.pointsPerSec << ",\n"
+         << "  \"warm_seconds\": " << warm_seconds << ",\n"
+         << "  \"allocs_per_kinst\": " << allocs_per_kinst << ",\n"
+         << "  \"trace_cache\": {\"hits\": " << cache_hits
+         << ", \"misses\": " << cache_misses
+         << ", \"bypasses\": " << cache_bypasses << "}\n"
+         << "}\n";
+
+    std::ofstream out(cfg.outPath);
+    out << json.str();
+    if (!out.flush()) {
+        std::fprintf(stderr, "failed writing %s\n", cfg.outPath.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", cfg.outPath.c_str());
+
+    // Steady-state allocation check: per-instruction allocation on the
+    // replay path would put this in the hundreds.
+    if (allocs_per_kinst > 50.0) {
+        std::fprintf(stderr,
+                     "FAIL: %.1f allocs per thousand simulated "
+                     "instructions — the steady-state path is "
+                     "allocating\n", allocs_per_kinst);
+        return 1;
+    }
+
+    if (!cfg.comparePath.empty()) {
+        std::ifstream in(cfg.comparePath);
+        if (!in) {
+            std::fprintf(stderr, "cannot read baseline %s\n",
+                         cfg.comparePath.c_str());
+            return 1;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const double base =
+            extractNumber(buf.str(), "cached", "points_per_sec");
+        const double floor = base * cfg.minRatio;
+        std::fprintf(stderr,
+                     "compare: %.2f points/s vs baseline %.2f "
+                     "(floor %.2f)\n",
+                     cached.pointsPerSec, base, floor);
+        if (cached.pointsPerSec < floor) {
+            std::fprintf(stderr, "FAIL: throughput regressed more than "
+                         "%.0f%% vs %s\n", (1.0 - cfg.minRatio) * 100.0,
+                         cfg.comparePath.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    HarnessConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                cfl_fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--smoke")
+            cfg.smoke = true;
+        else if (arg == "--iters")
+            cfg.iters = static_cast<unsigned>(std::stoul(value()));
+        else if (arg == "--out")
+            cfg.outPath = value();
+        else if (arg == "--compare")
+            cfg.comparePath = value();
+        else if (arg == "--min-ratio")
+            cfg.minRatio = std::stod(value());
+        else
+            cfl_fatal("unknown flag \"%s\"", arg.c_str());
+    }
+    if (cfg.iters == 0)
+        cfg.iters = 1;
+    return harnessMain(cfg);
+}

@@ -21,7 +21,7 @@ BimodalPredictor::index(Addr pc) const
 bool
 BimodalPredictor::predict(Addr pc)
 {
-    stats_.scalar("lookups").inc();
+    lookupsStat_->inc();
     return table_[index(pc)].taken();
 }
 
@@ -48,7 +48,7 @@ GsharePredictor::index(Addr pc) const
 bool
 GsharePredictor::predict(Addr pc)
 {
-    stats_.scalar("lookups").inc();
+    lookupsStat_->inc();
     return table_[index(pc)].taken();
 }
 
@@ -79,7 +79,7 @@ HybridPredictor::metaIndex(Addr pc) const
 bool
 HybridPredictor::predict(Addr pc)
 {
-    stats_.scalar("lookups").inc();
+    lookupsStat_->inc();
     lastGshare_ = gshare_.predict(pc);
     lastBimodal_ = bimodal_.predict(pc);
     const bool use_gshare = meta_[metaIndex(pc)].taken();

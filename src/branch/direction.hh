@@ -60,6 +60,8 @@ class DirectionPredictor
 
   protected:
     StatSet stats_{"direction"};
+    /** Per-prediction counter resolved once (map nodes are stable). */
+    Stat *lookupsStat_ = &stats_.scalar("lookups");
 };
 
 /** PC-indexed table of 2-bit counters. */

@@ -24,10 +24,10 @@ IndirectTargetCache::index(Addr pc) const
 Addr
 IndirectTargetCache::predict(Addr pc)
 {
-    stats_.scalar("lookups").inc();
+    lookupsStat_->inc();
     const Entry &e = table_[index(pc)];
     if (e.valid && e.tag == pc) {
-        stats_.scalar("tagHits").inc();
+        tagHitsStat_->inc();
         return e.target;
     }
     return 0;

@@ -47,6 +47,10 @@ class IndirectTargetCache
     unsigned historyBits_;
     std::uint64_t history_ = 0;
     StatSet stats_{"itc"};
+
+    // Per-indirect-branch counters resolved once.
+    Stat *lookupsStat_ = &stats_.scalar("lookups");
+    Stat *tagHitsStat_ = &stats_.scalar("tagHits");
 };
 
 } // namespace cfl

@@ -14,22 +14,22 @@ ReturnAddressStack::ReturnAddressStack(unsigned entries)
 void
 ReturnAddressStack::push(Addr return_addr)
 {
-    stats_.scalar("pushes").inc();
+    pushesStat_->inc();
     stack_[topIndex_] = return_addr;
     topIndex_ = (topIndex_ + 1) % stack_.size();
     if (depth_ < stack_.size()) {
         ++depth_;
     } else {
-        stats_.scalar("overflows").inc();
+        overflowsStat_->inc();
     }
 }
 
 Addr
 ReturnAddressStack::pop()
 {
-    stats_.scalar("pops").inc();
+    popsStat_->inc();
     if (depth_ == 0) {
-        stats_.scalar("underflows").inc();
+        underflowsStat_->inc();
         return 0;
     }
     topIndex_ = (topIndex_ + stack_.size() - 1) % stack_.size();

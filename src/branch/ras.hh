@@ -40,6 +40,12 @@ class ReturnAddressStack
     unsigned topIndex_ = 0;  ///< next push position
     unsigned depth_ = 0;
     StatSet stats_{"ras"};
+
+    // Per-call/return counters resolved once (map nodes are stable).
+    Stat *pushesStat_ = &stats_.scalar("pushes");
+    Stat *popsStat_ = &stats_.scalar("pops");
+    Stat *overflowsStat_ = &stats_.scalar("overflows");
+    Stat *underflowsStat_ = &stats_.scalar("underflows");
 };
 
 } // namespace cfl

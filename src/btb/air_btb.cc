@@ -60,18 +60,18 @@ AirBtb::addBranch(Bundle &bundle, Addr block_addr, std::uint8_t offset,
     // Bundle full: spill into the overflow buffer (Section 3.1). The
     // bitmap bit stays set so lookups know to probe the overflow buffer.
     if (params_.overflowEntries > 0) {
-        stats_.scalar("overflowInserts").inc();
+        overflowInsertsStat_->inc();
         overflow_.insert(block_addr + offset * kInstBytes,
                          BtbEntryData{kind, target});
     } else {
-        stats_.scalar("overflowDropped").inc();
+        overflowDroppedStat_->inc();
     }
 }
 
 void
 AirBtb::insertBundle(const PredecodedBlock &block)
 {
-    stats_.scalar("bundleInserts").inc();
+    bundleInsertsStat_->inc();
     Bundle bundle;
     // Bundle slots are contended (B entries for up to 16 branches).
     // Predecode can see each branch's displacement sign, so backward
@@ -96,7 +96,7 @@ AirBtb::insertBundle(const PredecodedBlock &block)
         }
     }
     if (bundleStore_.insert(block.blockAddr, bundle))
-        stats_.scalar("bundleEvictions").inc();
+        bundleEvictionsStat_->inc();
 }
 
 BtbLookupResult
@@ -104,12 +104,12 @@ AirBtb::lookup(const DynInst &inst, Cycle now)
 {
     (void)now;
     BtbLookupResult out;
-    stats_.scalar("lookups").inc();
+    lookupsStat_->inc();
 
     const Addr block_addr = blockAlign(inst.pc);
     Bundle *bundle = bundleStore_.find(block_addr);
     if (bundle == nullptr) {
-        stats_.scalar("bundleMisses").inc();
+        bundleMissesStat_->inc();
         return out;
     }
 
@@ -118,7 +118,7 @@ AirBtb::lookup(const DynInst &inst, Cycle now)
         // The bitmap says this instruction is not a known branch. With
         // eager predecode this only happens for demand-built bundles that
         // have not learned this branch yet.
-        stats_.scalar("bitmapMisses").inc();
+        bitmapMissesStat_->inc();
         return out;
     }
 
@@ -128,7 +128,7 @@ AirBtb::lookup(const DynInst &inst, Cycle now)
             out.hit = true;
             out.entry.kind = e.kind;
             out.entry.target = e.target;
-            stats_.scalar("bundleHits").inc();
+            bundleHitsStat_->inc();
             return out;
         }
     }
@@ -137,18 +137,18 @@ AirBtb::lookup(const DynInst &inst, Cycle now)
     if (const BtbEntryData *e = overflow_.find(inst.pc)) {
         out.hit = true;
         out.entry = *e;
-        stats_.scalar("overflowHits").inc();
+        overflowHitsStat_->inc();
         return out;
     }
 
-    stats_.scalar("overflowMisses").inc();
+    overflowMissesStat_->inc();
     return out;
 }
 
 void
 AirBtb::learn(Addr pc, BranchKind kind, Addr target, Cycle now)
 {
-    stats_.scalar("learns").inc();
+    learnsStat_->inc();
     const Addr block_addr = blockAlign(pc);
     const auto offset = static_cast<std::uint8_t>(instIndexInBlock(pc));
 
@@ -164,7 +164,7 @@ AirBtb::learn(Addr pc, BranchKind kind, Addr target, Cycle now)
         // Confluence fill hook will predecode it and install the whole
         // bundle — instead of allocating here, which would evict the
         // bundle of a block that *is* resident.
-        stats_.scalar("learnsDeferredToFill").inc();
+        learnsDeferredStat_->inc();
         if (fillRequest_)
             fillRequest_(block_addr, now);
         return;
@@ -183,7 +183,7 @@ AirBtb::learn(Addr pc, BranchKind kind, Addr target, Cycle now)
     Bundle fresh;
     addBranch(fresh, block_addr, offset, kind, target);
     if (bundleStore_.insert(block_addr, fresh))
-        stats_.scalar("bundleEvictions").inc();
+        bundleEvictionsStat_->inc();
 }
 
 void
@@ -199,7 +199,7 @@ AirBtb::onBlockFill(const PredecodedBlock &block, bool from_prefetch,
         // Sync without eager insertion: allocate an empty bundle so the
         // store mirrors the L1-I even before any branch is learned.
         if (bundleStore_.insert(block.blockAddr, Bundle{}))
-            stats_.scalar("bundleEvictions").inc();
+            bundleEvictionsStat_->inc();
         return;
     }
     insertBundle(block);
@@ -211,7 +211,7 @@ AirBtb::onBlockEvict(Addr block_addr)
     if (!params_.syncWithL1I)
         return;
     if (bundleStore_.invalidate(block_addr))
-        stats_.scalar("bundleSyncEvictions").inc();
+        bundleSyncEvictionsStat_->inc();
 }
 
 } // namespace cfl

@@ -30,10 +30,10 @@
 #define CFL_BTB_AIR_BTB_HH
 
 #include <array>
-#include <functional>
 
 #include "btb/assoc.hh"
 #include "btb/btb.hh"
+#include "common/delegate.hh"
 #include "isa/code_image.hh"
 #include "isa/predecoder.hh"
 
@@ -75,11 +75,13 @@ class AirBtb : public Btb
      * BTB miss in a non-resident block doubles as an L1-I prefetch
      * trigger: the redirect target's block is pulled in, predecoded,
      * and its whole bundle installed — so a stream gap costs one miss
-     * per block, not one per branch (Sections 3.2-3.3).
+     * per block, not one per branch (Sections 3.2-3.3). The hook fires
+     * on the per-branch path, so it is a two-word Delegate, not a
+     * std::function.
      */
-    using FillRequest = std::function<void(Addr block_addr, Cycle now)>;
+    using FillRequest = Delegate<void(Addr block_addr, Cycle now)>;
 
-    void setFillRequest(FillRequest fn) { fillRequest_ = std::move(fn); }
+    void setFillRequest(FillRequest fn) { fillRequest_ = fn; }
 
     const AirBtbParams &params() const { return params_; }
 
@@ -118,6 +120,21 @@ class AirBtb : public Btb
     AssocCache<Bundle> bundleStore_;       ///< keyed by block address
     AssocCache<BtbEntryData> overflow_;    ///< keyed by branch PC
     FillRequest fillRequest_;
+
+    // Per-branch-path counters resolved once (StatSet nodes are stable).
+    Stat *overflowInsertsStat_ = &stats_.scalar("overflowInserts");
+    Stat *overflowDroppedStat_ = &stats_.scalar("overflowDropped");
+    Stat *bundleInsertsStat_ = &stats_.scalar("bundleInserts");
+    Stat *bundleEvictionsStat_ = &stats_.scalar("bundleEvictions");
+    Stat *learnsStat_ = &stats_.scalar("learns");
+    Stat *learnsDeferredStat_ = &stats_.scalar("learnsDeferredToFill");
+    Stat *bundleSyncEvictionsStat_ = &stats_.scalar("bundleSyncEvictions");
+    Stat *lookupsStat_ = &stats_.scalar("lookups");
+    Stat *bundleHitsStat_ = &stats_.scalar("bundleHits");
+    Stat *bundleMissesStat_ = &stats_.scalar("bundleMisses");
+    Stat *bitmapMissesStat_ = &stats_.scalar("bitmapMisses");
+    Stat *overflowHitsStat_ = &stats_.scalar("overflowHits");
+    Stat *overflowMissesStat_ = &stats_.scalar("overflowMisses");
 };
 
 } // namespace cfl

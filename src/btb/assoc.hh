@@ -12,7 +12,6 @@
 #define CFL_BTB_ASSOC_HH
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -122,10 +121,11 @@ class AssocCache
     std::size_t numSets() const { return sets_; }
     unsigned ways() const { return ways_; }
 
-    /** Visit all valid (key, value) pairs. */
+    /** Visit all valid (key, value) pairs (template visitor: stats and
+     *  checker walks don't box their callbacks). */
+    template <typename Fn>
     void
-    forEach(const std::function<void(std::uint64_t, const Value &)> &fn)
-        const
+    forEach(Fn &&fn) const
     {
         for (const Entry &e : entries_) {
             if (e.valid)

@@ -35,19 +35,19 @@ ConventionalBtb::lookup(const DynInst &inst, Cycle now)
 {
     (void)now;
     BtbLookupResult out;
-    stats_.scalar("lookups").inc();
+    lookupsStat_->inc();
 
     if (const BtbEntryData *e = main_.find(inst.pc)) {
         out.hit = true;
         out.entry = *e;
-        stats_.scalar("mainHits").inc();
+        mainHitsStat_->inc();
         return out;
     }
 
     if (victim_ != nullptr) {
         if (auto victim_entry = victim_->invalidate(inst.pc)) {
             // Victim hit: swap back into the main table.
-            stats_.scalar("victimHits").inc();
+            victimHitsStat_->inc();
             out.hit = true;
             out.entry = *victim_entry;
             if (auto evicted = main_.insert(inst.pc, *victim_entry))
@@ -56,7 +56,7 @@ ConventionalBtb::lookup(const DynInst &inst, Cycle now)
         }
     }
 
-    stats_.scalar("lookupMisses").inc();
+    lookupMissesStat_->inc();
     return out;
 }
 
@@ -64,7 +64,7 @@ void
 ConventionalBtb::learn(Addr pc, BranchKind kind, Addr target, Cycle now)
 {
     (void)now;
-    stats_.scalar("inserts").inc();
+    insertsStat_->inc();
     const BtbEntryData data{kind, target};
     if (auto evicted = main_.insert(pc, data)) {
         if (victim_ != nullptr)

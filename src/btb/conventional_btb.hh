@@ -45,6 +45,13 @@ class ConventionalBtb : public Btb
 
   private:
     ConventionalBtbParams params_;
+
+    // Per-branch counters resolved once (StatSet nodes are stable).
+    Stat *lookupsStat_ = &stats_.scalar("lookups");
+    Stat *mainHitsStat_ = &stats_.scalar("mainHits");
+    Stat *victimHitsStat_ = &stats_.scalar("victimHits");
+    Stat *lookupMissesStat_ = &stats_.scalar("lookupMisses");
+    Stat *insertsStat_ = &stats_.scalar("inserts");
     AssocCache<BtbEntryData> main_;
     std::unique_ptr<AssocCache<BtbEntryData>> victim_;
 };

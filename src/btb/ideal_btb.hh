@@ -23,7 +23,7 @@ class PerfectBtb : public Btb
     lookup(const DynInst &inst, Cycle now) override
     {
         (void)now;
-        stats_.scalar("lookups").inc();
+        lookupsStat_->inc();
         BtbLookupResult out;
         out.hit = true;
         out.entry.kind = inst.kind;
@@ -40,6 +40,9 @@ class PerfectBtb : public Btb
         (void)target;
         (void)now;
     }
+
+  private:
+    Stat *lookupsStat_ = &stats_.scalar("lookups");
 };
 
 } // namespace cfl

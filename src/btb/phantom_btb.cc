@@ -26,6 +26,8 @@ PhantomSharedHistory::PhantomSharedHistory(const PhantomBtbParams &params)
       groups_(setsOf(params.numGroups, 8), 8, 0),
       forming_(64)
 {
+    cfl_assert(params.groupSize <= PhantomGroup::kMaxEntries,
+               "groupSize exceeds inline group capacity");
 }
 
 std::uint64_t
@@ -84,9 +86,9 @@ void
 PhantomBtb::drainArrivals(Cycle now)
 {
     while (!pending_.empty() && pending_.front().arriveAt <= now) {
-        for (const auto &[pc, entry] : pending_.front().entries)
+        for (const auto &[pc, entry] : pending_.front().group.entries)
             prefetchBuffer_.insert(pc, entry);
-        stats_.scalar("groupArrivals").inc();
+        groupArrivalsStat_->inc();
         pending_.pop_front();
     }
 }
@@ -95,39 +97,39 @@ BtbLookupResult
 PhantomBtb::lookup(const DynInst &inst, Cycle now)
 {
     BtbLookupResult out;
-    stats_.scalar("lookups").inc();
+    lookupsStat_->inc();
     drainArrivals(now);
 
     if (const BtbEntryData *e = l1_.find(inst.pc)) {
         out.hit = true;
         out.entry = *e;
-        stats_.scalar("l1Hits").inc();
+        l1HitsStat_->inc();
         return out;
     }
 
     if (auto from_pb = prefetchBuffer_.invalidate(inst.pc)) {
         // Prefetch-buffer hit: promote into the first level.
-        stats_.scalar("prefetchBufferHits").inc();
+        prefetchBufferHitsStat_->inc();
         out.hit = true;
         out.entry = *from_pb;
         l1_.insert(inst.pc, *from_pb);
         return out;
     }
 
-    stats_.scalar("lookupMisses").inc();
+    lookupMissesStat_->inc();
 
     // Miss: trigger a group prefetch from the virtualized second level.
     const std::uint64_t region = history_->regionOf(inst.pc);
     if (region != lastTriggerRegion_) {
         lastTriggerRegion_ = region;
         if (const PhantomGroup *group = history_->findGroup(region)) {
-            stats_.scalar("groupTriggers").inc();
+            groupTriggersStat_->inc();
             PendingGroup pg;
             pg.arriveAt = now + params_.llcLatency;
-            pg.entries = group->entries;
-            pending_.push_back(std::move(pg));
+            pg.group = *group;
+            pending_.push_back(pg);
         } else {
-            stats_.scalar("groupTriggerMisses").inc();
+            groupTriggerMissesStat_->inc();
         }
     }
 
@@ -138,7 +140,7 @@ void
 PhantomBtb::learn(Addr pc, BranchKind kind, Addr target, Cycle now)
 {
     (void)now;
-    stats_.scalar("inserts").inc();
+    insertsStat_->inc();
     const BtbEntryData data{kind, target};
     l1_.insert(pc, data);
     // Temporal-group formation over the stream of first-level misses.

@@ -24,12 +24,14 @@
 #ifndef CFL_BTB_PHANTOM_BTB_HH
 #define CFL_BTB_PHANTOM_BTB_HH
 
-#include <deque>
+#include <array>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "btb/assoc.hh"
 #include "btb/btb.hh"
+#include "common/ring.hh"
 
 namespace cfl
 {
@@ -46,10 +48,45 @@ struct PhantomBtbParams
     Cycle llcLatency = 20;         ///< group fetch round trip
 };
 
-/** One virtualized temporal group. */
+/**
+ * One virtualized temporal group. A group never exceeds the entries
+ * that fit one LLC block (groupSize, at most kMaxEntries), so storage
+ * is inline — group formation and fetch happen on the per-miss path
+ * and must not allocate.
+ */
 struct PhantomGroup
 {
-    std::vector<std::pair<Addr, BtbEntryData>> entries;
+    static constexpr unsigned kMaxEntries = 8;
+
+    /** Fixed-capacity (pc, entry) list with the vector surface the
+     *  consumers use. */
+    struct EntryList
+    {
+        std::array<std::pair<Addr, BtbEntryData>, kMaxEntries> slots{};
+        std::uint8_t count = 0;
+
+        void
+        emplace_back(Addr pc, const BtbEntryData &entry)
+        {
+            slots[count++] = {pc, entry};
+        }
+
+        void clear() { count = 0; }
+        std::size_t size() const { return count; }
+        const std::pair<Addr, BtbEntryData> &
+        operator[](std::size_t i) const
+        {
+            return slots[i];
+        }
+        const std::pair<Addr, BtbEntryData> *begin() const
+        {
+            return slots.data();
+        }
+        const std::pair<Addr, BtbEntryData> *end() const
+        {
+            return slots.data() + count;
+        }
+    } entries;
 };
 
 /** The LLC-virtualized, workload-shared second level. */
@@ -120,13 +157,23 @@ class PhantomBtb : public Btb
     /** In-flight group fetches from the LLC. */
     struct PendingGroup
     {
-        Cycle arriveAt;
-        std::vector<std::pair<Addr, BtbEntryData>> entries;
+        Cycle arriveAt = 0;
+        PhantomGroup group;
     };
-    std::deque<PendingGroup> pending_;
+    RingBuffer<PendingGroup> pending_;
 
     /** Throttle duplicate triggers for the same region back to back. */
     std::uint64_t lastTriggerRegion_ = ~0ull;
+
+    // Per-branch counters resolved once (StatSet nodes are stable).
+    Stat *lookupsStat_ = &stats_.scalar("lookups");
+    Stat *l1HitsStat_ = &stats_.scalar("l1Hits");
+    Stat *prefetchBufferHitsStat_ = &stats_.scalar("prefetchBufferHits");
+    Stat *lookupMissesStat_ = &stats_.scalar("lookupMisses");
+    Stat *groupArrivalsStat_ = &stats_.scalar("groupArrivals");
+    Stat *groupTriggersStat_ = &stats_.scalar("groupTriggers");
+    Stat *groupTriggerMissesStat_ = &stats_.scalar("groupTriggerMisses");
+    Stat *insertsStat_ = &stats_.scalar("inserts");
 };
 
 } // namespace cfl

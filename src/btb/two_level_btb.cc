@@ -30,20 +30,20 @@ TwoLevelBtb::lookup(const DynInst &inst, Cycle now)
 {
     (void)now;
     BtbLookupResult out;
-    stats_.scalar("lookups").inc();
+    lookupsStat_->inc();
 
     if (const BtbEntryData *e = l1_.find(inst.pc)) {
         out.hit = true;
         out.entry = *e;
-        stats_.scalar("l1Hits").inc();
+        l1HitsStat_->inc();
         return out;
     }
-    stats_.scalar("l1Misses").inc();
+    l1MissesStat_->inc();
 
     if (const BtbEntryData *e = l2_.find(inst.pc)) {
         // Second level supplies the prediction after its access latency;
         // the entry is promoted into the first level.
-        stats_.scalar("l2Hits").inc();
+        l2HitsStat_->inc();
         out.hit = true;
         out.entry = *e;
         out.stallCycles = params_.l2Latency;
@@ -51,7 +51,7 @@ TwoLevelBtb::lookup(const DynInst &inst, Cycle now)
         return out;
     }
 
-    stats_.scalar("lookupMisses").inc();
+    lookupMissesStat_->inc();
     return out;
 }
 
@@ -59,7 +59,7 @@ void
 TwoLevelBtb::learn(Addr pc, BranchKind kind, Addr target, Cycle now)
 {
     (void)now;
-    stats_.scalar("inserts").inc();
+    insertsStat_->inc();
     const BtbEntryData data{kind, target};
     l1_.insert(pc, data);
     l2_.insert(pc, data);

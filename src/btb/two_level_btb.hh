@@ -42,6 +42,14 @@ class TwoLevelBtb : public Btb
     TwoLevelBtbParams params_;
     AssocCache<BtbEntryData> l1_;
     AssocCache<BtbEntryData> l2_;
+
+    // Per-branch counters resolved once (StatSet nodes are stable).
+    Stat *lookupsStat_ = &stats_.scalar("lookups");
+    Stat *l1HitsStat_ = &stats_.scalar("l1Hits");
+    Stat *l1MissesStat_ = &stats_.scalar("l1Misses");
+    Stat *l2HitsStat_ = &stats_.scalar("l2Hits");
+    Stat *lookupMissesStat_ = &stats_.scalar("lookupMisses");
+    Stat *insertsStat_ = &stats_.scalar("inserts");
 };
 
 } // namespace cfl

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Non-allocating hook type: a function pointer plus an opaque context.
+ *
+ * The simulator's hot paths (cache evictions, L1-I fills, AirBTB fill
+ * requests) fire hooks on every miss. std::function at those sites costs
+ * a double indirection, can heap-allocate for fat captures, and defeats
+ * inlining of the dispatch; Delegate is the fixed-size alternative: two
+ * words, trivially copyable, no allocation ever. Bind either a member
+ * function (Delegate<Sig>::bind<&T::method>(obj)) or any long-lived
+ * callable by pointer (Delegate<Sig>::callable(&fn_object) — the callee
+ * does not take ownership).
+ */
+
+#ifndef CFL_COMMON_DELEGATE_HH
+#define CFL_COMMON_DELEGATE_HH
+
+#include <utility>
+
+namespace cfl
+{
+
+template <typename Sig>
+class Delegate;
+
+/** Two-word bound function: R(*)(void*, Args...) plus a context. */
+template <typename R, typename... Args>
+class Delegate<R(Args...)>
+{
+  public:
+    Delegate() = default;
+
+    /** Bind a member function: Delegate<void(Addr)>::bind<&T::onEvict>(t). */
+    template <auto Method, typename T>
+    static Delegate
+    bind(T *obj)
+    {
+        Delegate d;
+        d.ctx_ = obj;
+        d.fn_ = [](void *ctx, Args... args) -> R {
+            return (static_cast<T *>(ctx)->*Method)(
+                std::forward<Args>(args)...);
+        };
+        return d;
+    }
+
+    /** Bind a callable object by pointer; the object must outlive every
+     *  invocation (typical use: a stack-local lambda in tests). */
+    template <typename F>
+    static Delegate
+    callable(F *f)
+    {
+        Delegate d;
+        d.ctx_ = f;
+        d.fn_ = [](void *ctx, Args... args) -> R {
+            return (*static_cast<F *>(ctx))(std::forward<Args>(args)...);
+        };
+        return d;
+    }
+
+    R
+    operator()(Args... args) const
+    {
+        return fn_(ctx_, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const { return fn_ != nullptr; }
+
+    void reset() { fn_ = nullptr; ctx_ = nullptr; }
+
+  private:
+    R (*fn_)(void *, Args...) = nullptr;
+    void *ctx_ = nullptr;
+};
+
+} // namespace cfl
+
+#endif // CFL_COMMON_DELEGATE_HH

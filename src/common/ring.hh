@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fixed-stride ring buffer with deque semantics (push_back / pop_front).
+ *
+ * The front-end's fetch and replay queues and SHIFT's outstanding-stream
+ * window are small FIFOs that std::deque services with chunked heap
+ * allocation — and libstdc++ re-allocates chunks as the window slides,
+ * putting malloc on the per-cycle path. RingBuffer keeps elements in one
+ * power-of-two array, grows only by doubling (never on the steady-state
+ * path once warmed), and supports indexed access and iteration from the
+ * front, which is all the queues need.
+ */
+
+#ifndef CFL_COMMON_RING_HH
+#define CFL_COMMON_RING_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+/** Power-of-two-capacity FIFO; grows by doubling when full. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t initial_capacity = 8)
+    {
+        std::size_t cap = 1;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Element @p i positions behind the front (0 == front). */
+    T &operator[](std::size_t i)
+    {
+        cfl_assert(i < size_, "ring index out of range");
+        return slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+    const T &operator[](std::size_t i) const
+    {
+        cfl_assert(i < size_, "ring index out of range");
+        return slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[size_ - 1]; }
+    const T &back() const { return (*this)[size_ - 1]; }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == slots_.size())
+            grow();
+        slots_[(head_ + size_) & (slots_.size() - 1)] = std::move(value);
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        cfl_assert(size_ > 0, "pop_front on empty ring");
+        head_ = (head_ + 1) & (slots_.size() - 1);
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /** True if any element compares equal to @p value (linear scan; the
+     *  queues this backs hold at most a few dozen entries). */
+    bool
+    contains(const T &value) const
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            if ((*this)[i] == value)
+                return true;
+        return false;
+    }
+
+    /** Minimal forward iteration (enough for range-for). */
+    class const_iterator
+    {
+      public:
+        const_iterator(const RingBuffer *ring, std::size_t pos)
+            : ring_(ring), pos_(pos)
+        {
+        }
+        const T &operator*() const { return (*ring_)[pos_]; }
+        const_iterator &operator++() { ++pos_; return *this; }
+        bool operator!=(const const_iterator &o) const
+        {
+            return pos_ != o.pos_;
+        }
+
+      private:
+        const RingBuffer *ring_;
+        std::size_t pos_;
+    };
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, size_); }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> bigger(slots_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            bigger[i] = std::move((*this)[i]);
+        slots_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace cfl
+
+#endif // CFL_COMMON_RING_HH

@@ -57,6 +57,62 @@ isInstAligned(Addr addr)
     return (addr & (kInstBytes - 1)) == 0;
 }
 
+/**
+ * A run of consecutive 64B instruction blocks, value-typed so hot paths
+ * can hand block sets around without materializing a vector (a fetch
+ * region always spans consecutive blocks).
+ */
+struct BlockRange
+{
+    Addr first = 0;     ///< first block address (block-aligned)
+    unsigned count = 0; ///< number of consecutive blocks
+
+    /** Block @p i of the range. */
+    constexpr Addr operator[](unsigned i) const
+    {
+        return first + static_cast<Addr>(i) * kBlockBytes;
+    }
+
+    constexpr bool empty() const { return count == 0; }
+
+    class const_iterator
+    {
+      public:
+        constexpr const_iterator(Addr block) : block_(block) {}
+        constexpr Addr operator*() const { return block_; }
+        constexpr const_iterator &operator++()
+        {
+            block_ += kBlockBytes;
+            return *this;
+        }
+        constexpr bool operator!=(const const_iterator &o) const
+        {
+            return block_ != o.block_;
+        }
+
+      private:
+        Addr block_;
+    };
+
+    constexpr const_iterator begin() const { return {first}; }
+    constexpr const_iterator end() const
+    {
+        return {first + static_cast<Addr>(count) * kBlockBytes};
+    }
+};
+
+/** The blocks the @p num_insts instructions starting at @p pc span. */
+constexpr BlockRange
+blockRangeOf(Addr pc, unsigned num_insts)
+{
+    if (num_insts == 0)
+        return {};
+    const Addr first = blockAlign(pc);
+    const Addr last = blockAlign(pc + (num_insts - 1) * kInstBytes);
+    return {first,
+            static_cast<unsigned>((last - first) / kBlockBytes) + 1};
+}
+
 } // namespace cfl
 
 #endif // CFL_COMMON_TYPES_HH

@@ -1,6 +1,7 @@
 #include "confluence/cmp.hh"
 
 #include "common/logging.hh"
+#include "trace/trace_cache.hh"
 
 namespace cfl
 {
@@ -49,7 +50,7 @@ CmpMetrics::totalRetired() const
 
 Cmp::Cmp(FrontendKind kind, WorkloadId workload, const SystemConfig &config,
          std::uint64_t seed_base)
-    : config_(config)
+    : config_(config), workload_(workload), seedBase_(seed_base)
 {
     cfl_assert(config.numCores > 0, "CMP needs >= 1 core");
     const Program &program = workloadProgram(workload);
@@ -98,9 +99,33 @@ Cmp::runUntilRetired(Counter target)
     }
 }
 
+void
+Cmp::attachSharedTraces(Counter total_insts)
+{
+    // The BPU walks the oracle stream ahead of retirement by at most the
+    // fetch queue, the in-progress region, the decode buffer, and one
+    // peeked instruction; 4K instructions of slack covers that many
+    // times over. An undersized buffer would still be correct (the
+    // engine resumes live generation from the tail snapshot), just
+    // slower for the overflow.
+    constexpr Counter kOracleSlack = 4096;
+    for (unsigned c = 0; c < numCores(); ++c) {
+        ExecEngine &engine = cores_[c]->engine();
+        if (engine.instCount() != 0 || engine.replaying())
+            continue;  // mid-run reuse: keep whatever mode it is in
+        auto trace = traceCache().acquire(
+            workload_, seedBase_ + 0x1000ull * c,
+            total_insts + kOracleSlack);
+        if (trace != nullptr)
+            engine.attachTrace(std::move(trace));
+    }
+}
+
 CmpMetrics
 Cmp::run(Counter warmup_insts, Counter measure_insts)
 {
+    attachSharedTraces(warmup_insts + measure_insts);
+
     // Warmup: fill caches, predictors, and prefetcher history.
     if (warmup_insts > 0)
         runUntilRetired(warmup_insts);

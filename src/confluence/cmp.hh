@@ -94,7 +94,13 @@ class Cmp
     /** Tick every unfinished core until each retires @p target. */
     void runUntilRetired(Counter target);
 
+    /** Swap each core's engine onto a shared replay trace sized for the
+     *  run, when the trace cache can serve one. */
+    void attachSharedTraces(Counter total_insts);
+
     SystemConfig config_;
+    WorkloadId workload_;
+    std::uint64_t seedBase_;
     std::unique_ptr<Llc> llc_;
     std::unique_ptr<ShiftHistory> shiftHistory_;
     SharedState shared_;

@@ -8,17 +8,29 @@ ConfluenceController::ConfluenceController(InstMemory &mem, Btb &btb,
                                            const Predecoder &predecoder)
     : btb_(btb), image_(image), predecoder_(predecoder)
 {
-    mem.setFillHook([this](Addr block, bool from_prefetch, Cycle ready) {
-        const PredecodedBlock pre = predecoder_.scan(image_, block);
-        ++blocksPredecoded_;
-        // Demand fills see the block a few cycles later because the
-        // predecoder scans it before insertion; prefetched blocks hide
-        // this entirely (Section 3.2).
-        const Cycle meta_ready =
-            from_prefetch ? ready : ready + predecoder_.latency();
-        btb_.onBlockFill(pre, from_prefetch, meta_ready);
-    });
-    mem.setEvictHook([this](Addr block) { btb_.onBlockEvict(block); });
+    mem.setFillHook(
+        InstMemory::FillHook::bind<&ConfluenceController::onFill>(this));
+    mem.setEvictHook(
+        InstMemory::EvictHook::bind<&ConfluenceController::onEvict>(this));
+}
+
+void
+ConfluenceController::onFill(Addr block, bool from_prefetch, Cycle ready)
+{
+    const PredecodedBlock pre = predecoder_.scan(image_, block);
+    ++blocksPredecoded_;
+    // Demand fills see the block a few cycles later because the
+    // predecoder scans it before insertion; prefetched blocks hide
+    // this entirely (Section 3.2).
+    const Cycle meta_ready =
+        from_prefetch ? ready : ready + predecoder_.latency();
+    btb_.onBlockFill(pre, from_prefetch, meta_ready);
+}
+
+void
+ConfluenceController::onEvict(Addr block)
+{
+    btb_.onBlockEvict(block);
 }
 
 } // namespace cfl

@@ -45,6 +45,9 @@ class ConfluenceController
     Counter blocksPredecoded() const { return blocksPredecoded_; }
 
   private:
+    void onFill(Addr block, bool from_prefetch, Cycle ready);
+    void onEvict(Addr block);
+
     Btb &btb_;
     const CodeImage &image_;
     const Predecoder &predecoder_;

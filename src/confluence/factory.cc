@@ -173,19 +173,22 @@ CoreSim::CoreSim(FrontendKind kind, const Program &program,
         // redirects the stream prefetcher (the same event an L1-I miss
         // would raise, since AirBTB mirrors the L1-I) and triggers the
         // block's own fill and bundle insertion.
-        air->setFillRequest([mem = mem_.get(),
-                             pf = prefetcher_.get()](Addr block,
-                                                     Cycle now) {
-            if (pf != nullptr)
-                pf->onDemandMiss(block, now);
-            mem->prefetch(block, now);
-        });
+        air->setFillRequest(
+            AirBtb::FillRequest::bind<&CoreSim::requestAirFill>(this));
     }
 
     bpu_ = std::make_unique<Bpu>(config.bpu, *btb_, *direction_, *ras_,
                                  *itc_, *engine_, mem_.get());
     frontend_ = std::make_unique<Frontend>(config.frontend, *bpu_, *mem_,
                                            prefetcher_.get());
+}
+
+void
+CoreSim::requestAirFill(Addr block, Cycle now)
+{
+    if (prefetcher_ != nullptr)
+        prefetcher_->onDemandMiss(block, now);
+    mem_->prefetch(block, now);
 }
 
 void

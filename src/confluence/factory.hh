@@ -132,6 +132,9 @@ class CoreSim
     void beginMeasurement();
 
   private:
+    /** AirBTB fill-request hook: unified-metadata miss -> L1-I fill. */
+    void requestAirFill(Addr block, Cycle now);
+
     FrontendKind kind_;
     Predecoder predecoder_;
     std::unique_ptr<ExecEngine> engine_;

@@ -9,11 +9,7 @@ std::vector<Addr>
 FetchRegion::blocks() const
 {
     std::vector<Addr> out;
-    if (numInsts == 0)
-        return out;
-    const Addr first = blockAlign(startPc);
-    const Addr last = blockAlign(startPc + (numInsts - 1) * kInstBytes);
-    for (Addr b = first; b <= last; b += kBlockBytes)
+    for (const Addr b : blockRange())
         out.push_back(b);
     return out;
 }
@@ -27,7 +23,17 @@ Bpu::Bpu(const BpuParams &params, Btb &btb, DirectionPredictor &direction,
       ras_(ras),
       itc_(itc),
       engine_(engine),
-      mem_(mem)
+      mem_(mem),
+      instsStat_(&stats_.scalar("insts")),
+      branchesStat_(&stats_.scalar("branches")),
+      takenLookupsStat_(&stats_.scalar("takenBranchLookups")),
+      regionCapEndsStat_(&stats_.scalar("regionCapEnds")),
+      btbL2StallStat_(&stats_.scalar("btbLevel2StallCycles")),
+      btbTakenMissesStat_(&stats_.scalar("btbTakenMisses")),
+      misfetchesStat_(&stats_.scalar("misfetches")),
+      condMispredictsStat_(&stats_.scalar("condMispredicts")),
+      rasMispredictsStat_(&stats_.scalar("rasMispredicts")),
+      indirectMispredictsStat_(&stats_.scalar("indirectMispredicts"))
 {
 }
 
@@ -68,26 +74,26 @@ Bpu::predictNextRegion(Cycle now)
     while (true) {
         const DynInst inst = engine_.next();
         ++out.region.numInsts;
-        stats_.scalar("insts").inc();
+        instsStat_->inc();
 
         if (!inst.isBranch()) {
             if (out.region.numInsts >= params_.maxRegionInsts) {
                 // Region cap: continue sequentially next cycle.
-                stats_.scalar("regionCapEnds").inc();
+                regionCapEndsStat_->inc();
                 return out;
             }
             continue;
         }
 
-        stats_.scalar("branches").inc();
+        branchesStat_->inc();
         ++out.region.numBranches;
         if (inst.taken)
-            stats_.scalar("takenBranchLookups").inc();
+            takenLookupsStat_->inc();
 
         const BtbLookupResult btb = btb_.lookup(inst, now);
         out.stall += btb.stallCycles;
         if (btb.stallCycles > 0)
-            stats_.scalar("btbLevel2StallCycles").inc(btb.stallCycles);
+            btbL2StallStat_->inc(btb.stallCycles);
 
         if (!btb.hit) {
             if (!inst.taken) {
@@ -97,7 +103,7 @@ Bpu::predictNextRegion(Cycle now)
                 if (inst.kind == BranchKind::Cond)
                     direction_.update(inst.pc, inst.taken);
                 if (out.region.numInsts >= params_.maxRegionInsts) {
-                    stats_.scalar("regionCapEnds").inc();
+                    regionCapEndsStat_->inc();
                     return out;
                 }
                 continue;
@@ -106,8 +112,8 @@ Bpu::predictNextRegion(Cycle now)
             // Actually-taken branch absent from the BTB: the sequential
             // fetch region is wrong (misfetch). Paper Section 2.1: this
             // is the BTB-miss event.
-            stats_.scalar("btbTakenMisses").inc();
-            stats_.scalar("misfetches").inc();
+            btbTakenMissesStat_->inc();
+            misfetchesStat_->inc();
             resolveMisfetchedBranch(inst, now);
             out.misfetch = true;
             out.region.deliveryBubble += params_.misfetchPenalty;
@@ -120,7 +126,7 @@ Bpu::predictNextRegion(Cycle now)
             const bool predicted_taken = direction_.predict(inst.pc);
             direction_.update(inst.pc, inst.taken);
             if (predicted_taken != inst.taken) {
-                stats_.scalar("condMispredicts").inc();
+                condMispredictsStat_->inc();
                 out.mispredict = true;
                 out.region.deliveryBubble += params_.mispredictPenalty;
                 return out;
@@ -132,7 +138,7 @@ Bpu::predictNextRegion(Cycle now)
             }
             // Correctly predicted not-taken: keep walking.
             if (out.region.numInsts >= params_.maxRegionInsts) {
-                stats_.scalar("regionCapEnds").inc();
+                regionCapEndsStat_->inc();
                 return out;
             }
             continue;
@@ -148,7 +154,7 @@ Bpu::predictNextRegion(Cycle now)
           case BranchKind::Return: {
             const Addr predicted = ras_.pop();
             if (predicted != inst.target) {
-                stats_.scalar("rasMispredicts").inc();
+                rasMispredictsStat_->inc();
                 out.mispredict = true;
                 out.region.deliveryBubble += params_.mispredictPenalty;
             }
@@ -162,7 +168,7 @@ Bpu::predictNextRegion(Cycle now)
             if (isCall(inst.kind))
                 ras_.push(inst.fallThrough());
             if (predicted != inst.target) {
-                stats_.scalar("indirectMispredicts").inc();
+                indirectMispredictsStat_->inc();
                 out.mispredict = true;
                 out.region.deliveryBubble += params_.mispredictPenalty;
             }

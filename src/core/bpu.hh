@@ -64,7 +64,15 @@ struct FetchRegion
      */
     Cycle deliveryBubble = 0;
 
-    /** Block addresses the region spans, in fetch order. */
+    /** Blocks the region spans, in fetch order, as an allocation-free
+     *  value range (regions always cover consecutive blocks). */
+    BlockRange blockRange() const
+    {
+        return blockRangeOf(startPc, numInsts);
+    }
+
+    /** Block addresses as a vector (tests/analysis; the hot path uses
+     *  blockRange()). */
     std::vector<Addr> blocks() const;
 };
 
@@ -114,6 +122,18 @@ class Bpu
     ExecEngine &engine_;
     InstMemory *mem_;
     StatSet stats_{"bpu"};
+
+    // Per-instruction counters resolved once (StatSet nodes are stable).
+    Stat *instsStat_;
+    Stat *branchesStat_;
+    Stat *takenLookupsStat_;
+    Stat *regionCapEndsStat_;
+    Stat *btbL2StallStat_;
+    Stat *btbTakenMissesStat_;
+    Stat *misfetchesStat_;
+    Stat *condMispredictsStat_;
+    Stat *rasMispredictsStat_;
+    Stat *indirectMispredictsStat_;
 };
 
 } // namespace cfl

@@ -1,5 +1,6 @@
 #include "core/frontend.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -9,7 +10,26 @@ namespace cfl
 
 Frontend::Frontend(const FrontendParams &params, Bpu &bpu, InstMemory &mem,
                    InstPrefetcher *prefetcher)
-    : params_(params), bpu_(bpu), mem_(mem), prefetcher_(prefetcher)
+    : params_(params),
+      bpu_(bpu),
+      mem_(mem),
+      prefetcher_(prefetcher),
+      fetchQueue_(params.fetchQueueRegions + 1),
+      replay_(params.fetchQueueRegions + 1),
+      backendDataStallStat_(&stats_.scalar("backendDataStallCycles")),
+      backendStarvedStat_(&stats_.scalar("backendStarvedCycles")),
+      fetchStallStat_(&stats_.scalar("fetchStallCycles")),
+      fetchAheadFillsStat_(&stats_.scalar("fetchAheadFills")),
+      fetchMissStallsStat_(&stats_.scalar("fetchMissStalls")),
+      fetchMissStallCyclesStat_(&stats_.scalar("fetchMissStallCycles")),
+      fetchedInstsStat_(&stats_.scalar("fetchedInsts")),
+      redirectBubbleStat_(&stats_.scalar("redirectBubbleCycles")),
+      redirectFlushesStat_(&stats_.scalar("redirectQueueFlushes")),
+      fetchQueueEmptyStat_(&stats_.scalar("fetchQueueEmptyCycles")),
+      fetchQueueFullStat_(&stats_.scalar("fetchQueueFullCycles")),
+      bpuStallStat_(&stats_.scalar("bpuStallCycles")),
+      regionsReplayedStat_(&stats_.scalar("regionsReplayed")),
+      regionsProducedStat_(&stats_.scalar("regionsProduced"))
 {
     cfl_assert(params.fetchQueueRegions > 0, "fetch queue needs depth");
     cfl_assert(params.fetchWidth > 0, "fetch width must be > 0");
@@ -32,7 +52,7 @@ Frontend::tickBackend()
     // consumes nothing, and any front-end bubble in this window is free.
     if (dataStallLeft_ > 0) {
         --dataStallLeft_;
-        stats_.scalar("backendDataStallCycles").inc();
+        backendDataStallStat_->inc();
         return;
     }
 
@@ -49,7 +69,7 @@ Frontend::tickBackend()
             dataStallLeft_ = params_.dataStallCycles;
         }
     } else {
-        stats_.scalar("backendStarvedCycles").inc();
+        backendStarvedStat_->inc();
     }
 }
 
@@ -84,7 +104,7 @@ Frontend::fetchAheadUnderStall()
                 if (outstanding >= params_.fetchMshrs)
                     return;
                 if (!mem_.residentOrInFlight(block)) {
-                    stats_.scalar("fetchAheadFills").inc();
+                    fetchAheadFillsStat_->inc();
                     mem_.prefetch(block, cycle_);
                     ++outstanding;
                 }
@@ -98,7 +118,7 @@ void
 Frontend::tickFetch()
 {
     if (fetchStallUntil_ > cycle_) {
-        stats_.scalar("fetchStallCycles").inc();
+        fetchStallStat_->inc();
         if (!stallIsBubble_)
             fetchAheadUnderStall();
         return;
@@ -126,9 +146,8 @@ Frontend::tickFetch()
                 if (res.readyAt > cycle_) {
                     fetchStallUntil_ = res.readyAt;
                     stallIsBubble_ = false;
-                    stats_.scalar("fetchMissStalls").inc();
-                    stats_.scalar("fetchMissStallCycles")
-                        .inc(res.readyAt - cycle_);
+                    fetchMissStallsStat_->inc();
+                    fetchMissStallCyclesStat_->inc(res.readyAt - cycle_);
                     fetchAheadUnderStall();
                     return;
                 }
@@ -149,7 +168,7 @@ Frontend::tickFetch()
         decodeBufferInsts_ += take;
         fetchOffset_ += take;
         credits -= take;
-        stats_.scalar("fetchedInsts").inc(take);
+        fetchedInstsStat_->inc(take);
 
         if (fetchOffset_ >= region.numInsts) {
             queueBranches_ -= std::min(queueBranches_, region.numBranches);
@@ -166,12 +185,12 @@ Frontend::tickFetch()
                 fetchStallUntil_ =
                     std::max(fetchStallUntil_, cycle_ + bubble);
                 stallIsBubble_ = true;
-                stats_.scalar("redirectBubbleCycles").inc(bubble);
+                redirectBubbleStat_->inc(bubble);
                 // The redirect squashes everything younger in the fetch
                 // queue; those regions re-emit from the BPU one per
                 // cycle (post-redirect lockstep refill).
                 if (!fetchQueue_.empty()) {
-                    stats_.scalar("redirectQueueFlushes").inc();
+                    redirectFlushesStat_->inc();
                     while (!fetchQueue_.empty()) {
                         replay_.push_back(fetchQueue_.front());
                         fetchQueue_.pop_front();
@@ -187,18 +206,18 @@ Frontend::tickFetch()
     }
 
     if (fetchQueue_.empty())
-        stats_.scalar("fetchQueueEmptyCycles").inc();
+        fetchQueueEmptyStat_->inc();
 }
 
 void
 Frontend::tickBpu()
 {
     if (bpuStallUntil_ > cycle_) {
-        stats_.scalar("bpuStallCycles").inc();
+        bpuStallStat_->inc();
         return;
     }
     if (fetchQueue_.size() >= params_.fetchQueueRegions) {
-        stats_.scalar("fetchQueueFullCycles").inc();
+        fetchQueueFullStat_->inc();
         return;
     }
 
@@ -210,13 +229,13 @@ Frontend::tickBpu()
         replay_.pop_front();
         fetchQueue_.push_back(region);
         queueBranches_ += region.numBranches;
-        stats_.scalar("regionsReplayed").inc();
+        regionsReplayedStat_->inc();
         return;
     }
 
     const BpuResult res = bpu_.predictNextRegion(cycle_);
     fetchQueue_.push_back(res.region);
-    stats_.scalar("regionsProduced").inc();
+    regionsProducedStat_->inc();
 
     if (res.stall > 0)
         bpuStallUntil_ = cycle_ + res.stall;
@@ -224,8 +243,8 @@ Frontend::tickBpu()
     // Fetch-directed prefetching sees every enqueued region, along with
     // how many unresolved branch predictions sit ahead of it.
     if (prefetcher_ != nullptr) {
-        prefetcher_->onFetchRegion(res.region.blocks(), queueBranches_,
-                                   cycle_);
+        prefetcher_->onFetchRegion(res.region.blockRange(),
+                                   queueBranches_, cycle_);
         const unsigned errors =
             (res.misfetch ? 1u : 0u) + (res.mispredict ? 1u : 0u);
         prefetcher_->onBranchOutcome(res.region.numBranches, errors);

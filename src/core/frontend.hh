@@ -27,8 +27,7 @@
 #ifndef CFL_CORE_FRONTEND_HH
 #define CFL_CORE_FRONTEND_HH
 
-#include <deque>
-
+#include "common/ring.hh"
 #include "core/bpu.hh"
 #include "mem/hierarchy.hh"
 #include "prefetch/prefetcher.hh"
@@ -98,7 +97,7 @@ class Frontend
     InstMemory &mem_;
     InstPrefetcher *prefetcher_;
 
-    std::deque<FetchRegion> fetchQueue_;
+    RingBuffer<FetchRegion> fetchQueue_;
     unsigned fetchOffset_ = 0;      ///< insts consumed of the head region
     unsigned queueBranches_ = 0;    ///< unresolved predictions in queue
 
@@ -109,7 +108,7 @@ class Frontend
      * path is then re-predicted region by region. Re-emission models
      * that lockstep refill without double-walking the oracle stream.
      */
-    std::deque<FetchRegion> replay_;
+    RingBuffer<FetchRegion> replay_;
     Addr curFetchBlock_ = ~0ull;    ///< block the fetch unit last touched
 
     unsigned decodeBufferInsts_ = 0;
@@ -126,6 +125,22 @@ class Frontend
     Cycle cycleBase_ = 0;
 
     StatSet stats_{"frontend"};
+
+    // Per-cycle counters resolved once (StatSet nodes are stable).
+    Stat *backendDataStallStat_;
+    Stat *backendStarvedStat_;
+    Stat *fetchStallStat_;
+    Stat *fetchAheadFillsStat_;
+    Stat *fetchMissStallsStat_;
+    Stat *fetchMissStallCyclesStat_;
+    Stat *fetchedInstsStat_;
+    Stat *redirectBubbleStat_;
+    Stat *redirectFlushesStat_;
+    Stat *fetchQueueEmptyStat_;
+    Stat *fetchQueueFullStat_;
+    Stat *bpuStallStat_;
+    Stat *regionsReplayedStat_;
+    Stat *regionsProducedStat_;
 };
 
 } // namespace cfl

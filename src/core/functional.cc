@@ -1,5 +1,7 @@
 #include "core/functional.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace cfl
@@ -19,12 +21,24 @@ FunctionalDriver::FunctionalDriver(ExecEngine &engine, Btb &btb,
     // (AirBTB) consume them, and the driver's Table-2 residency tracking
     // needs fill/evict visibility for every design.
     if (mem_ != nullptr) {
-        mem_->setFillHook([this](Addr block, bool pf, Cycle ready) {
-            onFill(block, pf, ready, measuring_);
-        });
+        mem_->setFillHook(
+            InstMemory::FillHook::bind<&FunctionalDriver::fillHook>(this));
         mem_->setEvictHook(
-            [this](Addr block) { onEvict(block, measuring_); });
+            InstMemory::EvictHook::bind<&FunctionalDriver::evictHook>(
+                this));
     }
+}
+
+void
+FunctionalDriver::fillHook(Addr block, bool from_prefetch, Cycle ready)
+{
+    onFill(block, from_prefetch, ready, measuring_);
+}
+
+void
+FunctionalDriver::evictHook(Addr block)
+{
+    onEvict(block, measuring_);
 }
 
 void
@@ -47,13 +61,13 @@ FunctionalDriver::onEvict(Addr block, bool measuring)
 {
     btb_.onBlockEvict(block);
 
-    const auto it = residentTaken_.find(block);
-    if (it != residentTaken_.end()) {
+    const std::uint16_t *taken = residentTaken_.find(block);
+    if (taken != nullptr) {
         if (measuring) {
             ++res_.residencies;
-            res_.dynamicTakenDistinct += it->second.size();
+            res_.dynamicTakenDistinct += std::popcount(*taken);
         }
-        residentTaken_.erase(it);
+        residentTaken_.erase(block);
     }
 }
 
@@ -103,9 +117,9 @@ FunctionalDriver::step(bool measuring)
         // Table 2 dynamic density: distinct taken branches touched while
         // the block is resident.
         if (mem_ != nullptr) {
-            const auto it = residentTaken_.find(block);
-            if (it != residentTaken_.end())
-                it->second.insert(instIndexInBlock(inst.pc));
+            if (std::uint16_t *taken = residentTaken_.find(block))
+                *taken |= static_cast<std::uint16_t>(
+                    1u << instIndexInBlock(inst.pc));
         }
     }
 }
@@ -126,10 +140,10 @@ FunctionalDriver::run(const FunctionalConfig &config)
 
     // Close still-open residency windows so dynamic density covers the
     // whole measurement.
-    for (const auto &[block, taken] : residentTaken_) {
+    residentTaken_.forEach([this](Addr, const std::uint16_t &taken) {
         ++res_.residencies;
-        res_.dynamicTakenDistinct += taken.size();
-    }
+        res_.dynamicTakenDistinct += std::popcount(taken);
+    });
     residentTaken_.clear();
 
     return res_;

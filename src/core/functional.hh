@@ -20,10 +20,9 @@
 #define CFL_CORE_FUNCTIONAL_HH
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "btb/btb.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "isa/predecoder.hh"
 #include "mem/hierarchy.hh"
@@ -106,6 +105,10 @@ class FunctionalDriver
     void onFill(Addr block, bool from_prefetch, Cycle ready, bool measuring);
     void onEvict(Addr block, bool measuring);
 
+    /** Hook-shaped adapters bound into the InstMemory delegates. */
+    void fillHook(Addr block, bool from_prefetch, Cycle ready);
+    void evictHook(Addr block);
+
     ExecEngine &engine_;
     Btb &btb_;
     InstMemory *mem_;
@@ -118,8 +121,12 @@ class FunctionalDriver
     FunctionalResult res_;
     bool measuring_ = false;
 
-    /** Distinct taken branches per resident block (Table 2 dynamic). */
-    std::unordered_map<Addr, std::unordered_set<unsigned>> residentTaken_;
+    /**
+     * Distinct taken branches per resident block (Table 2 dynamic). A
+     * block holds at most 16 instructions, so the distinct-branch set is
+     * a 16-bit bitmap in a flat table instead of a hash-of-hash-sets.
+     */
+    FlatMap<std::uint16_t> residentTaken_;
 };
 
 } // namespace cfl

@@ -13,8 +13,8 @@
 #ifndef CFL_ISA_PREDECODER_HH
 #define CFL_ISA_PREDECODER_HH
 
+#include <array>
 #include <cstdint>
-#include <vector>
 
 #include "isa/code_image.hh"
 #include "isa/inst.hh"
@@ -40,11 +40,39 @@ struct PredecodedBlock
 {
     Addr blockAddr = 0;
     std::uint16_t branchBitmap = 0;  ///< bit i set = instruction i is a branch
-    std::vector<PredecodedBranch> branches;
+
+    /**
+     * Inline branch list: a block holds at most kInstsPerBlock (16)
+     * instructions, so the storage is a fixed array — scan() runs on
+     * every L1-I fill and must not allocate.
+     */
+    struct BranchList
+    {
+        std::array<PredecodedBranch, kInstsPerBlock> entries{};
+        std::uint8_t count = 0;
+
+        void
+        push_back(const PredecodedBranch &br)
+        {
+            entries[count++] = br;
+        }
+
+        const PredecodedBranch *begin() const { return entries.data(); }
+        const PredecodedBranch *end() const
+        {
+            return entries.data() + count;
+        }
+        const PredecodedBranch &operator[](std::size_t i) const
+        {
+            return entries[i];
+        }
+        std::size_t size() const { return count; }
+        bool empty() const { return count == 0; }
+    } branches;
 
     unsigned numBranches() const
     {
-        return static_cast<unsigned>(branches.size());
+        return static_cast<unsigned>(branches.count);
     }
 };
 

@@ -1,7 +1,5 @@
 #include "mem/cache.hh"
 
-#include <memory>
-
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -113,26 +111,21 @@ SetAssocTags::clear()
     validCount_ = 0;
 }
 
-void
-SetAssocTags::forEachKey(const std::function<void(std::uint64_t)> &fn) const
-{
-    for (const Way &w : ways_) {
-        if (w.valid)
-            fn(w.key);
-    }
-}
-
 Cache::Cache(std::string name, std::uint64_t capacity_bytes, unsigned ways)
     : name_(std::move(name)),
       capacityBytes_(capacity_bytes),
       ways_(ways),
-      stats_(name_)
+      stats_(name_),
+      tags_(buildTags()),
+      hitsStat_(&stats_.scalar("hits")),
+      missesStat_(&stats_.scalar("misses")),
+      fillsStat_(&stats_.scalar("fills")),
+      evictionsStat_(&stats_.scalar("evictions"))
 {
-    rebuildTags();
 }
 
-void
-Cache::rebuildTags()
+SetAssocTags
+Cache::buildTags() const
 {
     const std::uint64_t blocks = capacityBytes_ / kBlockBytes;
     cfl_assert(blocks >= ways_, "%s: capacity below one set", name_.c_str());
@@ -144,7 +137,7 @@ Cache::rebuildTags()
     CacheGeometry geom;
     geom.ways = ways_;
     geom.numEntries = sets * ways_;
-    tags_ = std::make_unique<SetAssocTags>(geom, floorLog2(kBlockBytes));
+    return SetAssocTags(geom, floorLog2(kBlockBytes));
 }
 
 bool
@@ -153,15 +146,15 @@ Cache::access(Addr block_addr)
     cfl_assert(blockAlign(block_addr) == block_addr,
                "%s: unaligned block access", name_.c_str());
     touched_ = true;
-    const bool hit = tags_->lookup(block_addr);
-    stats_.scalar(hit ? "hits" : "misses").inc();
+    const bool hit = tags_.lookup(block_addr);
+    (hit ? hitsStat_ : missesStat_)->inc();
     return hit;
 }
 
 bool
 Cache::contains(Addr block_addr) const
 {
-    return tags_->contains(block_addr);
+    return tags_.contains(block_addr);
 }
 
 void
@@ -170,12 +163,12 @@ Cache::insert(Addr block_addr)
     cfl_assert(blockAlign(block_addr) == block_addr,
                "%s: unaligned block insert", name_.c_str());
     touched_ = true;
-    if (tags_->contains(block_addr))
+    if (tags_.contains(block_addr))
         return;
-    stats_.scalar("fills").inc();
-    const auto evicted = tags_->insert(block_addr);
+    fillsStat_->inc();
+    const auto evicted = tags_.insert(block_addr);
     if (evicted) {
-        stats_.scalar("evictions").inc();
+        evictionsStat_->inc();
         if (evictHook_)
             evictHook_(*evicted);
     }
@@ -184,7 +177,7 @@ Cache::insert(Addr block_addr)
 bool
 Cache::invalidate(Addr block_addr)
 {
-    return tags_->invalidate(block_addr);
+    return tags_.invalidate(block_addr);
 }
 
 void
@@ -195,7 +188,7 @@ Cache::reserveBytes(std::uint64_t bytes)
                name_.c_str());
     capacityBytes_ -= bytes;
     stats_.scalar("reservedBytes").inc(bytes);
-    rebuildTags();
+    tags_ = buildTags();
 }
 
 } // namespace cfl

@@ -13,12 +13,11 @@
 #define CFL_MEM_CACHE_HH
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/delegate.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -73,8 +72,17 @@ class SetAssocTags
 
     const CacheGeometry &geometry() const { return geometry_; }
 
-    /** Iterate over all valid keys (for checkers/tests). */
-    void forEachKey(const std::function<void(std::uint64_t)> &fn) const;
+    /** Visit all valid keys (for checkers/tests); the template visitor
+     *  keeps stats walks free of std::function boxing. */
+    template <typename Fn>
+    void
+    forEachKey(Fn &&fn) const
+    {
+        for (const Way &w : ways_) {
+            if (w.valid)
+                fn(w.key);
+        }
+    }
 
   private:
     struct Way
@@ -100,7 +108,7 @@ class Cache
 {
   public:
     /** Called with the evicted block address. */
-    using EvictHook = std::function<void(Addr)>;
+    using EvictHook = Delegate<void(Addr)>;
 
     /** @param name stat prefix
      *  @param capacity_bytes total data capacity
@@ -126,23 +134,30 @@ class Cache
      */
     void reserveBytes(std::uint64_t bytes);
 
-    void setEvictHook(EvictHook hook) { evictHook_ = std::move(hook); }
+    void setEvictHook(EvictHook hook) { evictHook_ = hook; }
 
     std::uint64_t capacityBytes() const { return capacityBytes_; }
-    std::uint64_t numBlocks() const { return tags_->size(); }
+    std::uint64_t numBlocks() const { return tags_.size(); }
     const StatSet &stats() const { return stats_; }
     StatSet &stats() { return stats_; }
 
   private:
-    void rebuildTags();
+    SetAssocTags buildTags() const;
 
     std::string name_;
     std::uint64_t capacityBytes_;
     unsigned ways_;
-    std::unique_ptr<SetAssocTags> tags_;
-    EvictHook evictHook_;
     StatSet stats_;
+    SetAssocTags tags_;  ///< value member: tag storage lives inline and
+                         ///< is fully reserved at construction
+    EvictHook evictHook_;
     bool touched_ = false;
+
+    // Hot counters resolved once; StatSet map nodes are stable.
+    Stat *hitsStat_;
+    Stat *missesStat_;
+    Stat *fillsStat_;
+    Stat *evictionsStat_;
 };
 
 } // namespace cfl

@@ -9,26 +9,32 @@ InstMemory::InstMemory(const InstMemoryParams &params, Llc &llc)
     : params_(params),
       llc_(llc),
       l1i_("l1i", params.l1iBytes, params.l1iWays),
-      stats_("instmem")
+      stats_("instmem"),
+      inFlight_(32),
+      demandFetchesStat_(&stats_.scalar("demandFetches")),
+      demandHitsStat_(&stats_.scalar("demandHits")),
+      demandMissesStat_(&stats_.scalar("demandMisses")),
+      demandInFlightHitsStat_(&stats_.scalar("demandInFlightHits")),
+      demandInFlightWaitStat_(&stats_.scalar("demandInFlightWaitCycles")),
+      prefetchIssuedStat_(&stats_.scalar("prefetchIssued")),
+      prefetchRedundantStat_(&stats_.scalar("prefetchRedundant")),
+      fillsFromLlcStat_(&stats_.scalar("fillsFromLlc")),
+      fillsFromMemoryStat_(&stats_.scalar("fillsFromMemory"))
 {
 }
 
 void
 InstMemory::setEvictHook(EvictHook hook)
 {
-    l1i_.setEvictHook(std::move(hook));
+    l1i_.setEvictHook(hook);
 }
 
 void
 InstMemory::expireInFlight(Cycle now)
 {
     // Lazy MSHR retirement: fills whose completion time passed are done.
-    for (auto it = inFlight_.begin(); it != inFlight_.end();) {
-        if (it->second <= now)
-            it = inFlight_.erase(it);
-        else
-            ++it;
-    }
+    inFlight_.retainIf(
+        [now](Addr, const Cycle &ready) { return ready > now; });
 }
 
 Cycle
@@ -37,13 +43,13 @@ InstMemory::install(Addr block_addr, bool from_prefetch, Cycle now,
 {
     const Llc::Access llc_access = llc_.access(block_addr);
     const Cycle ready = now + extra_latency + llc_access.latency;
-    stats_.scalar(llc_access.hit ? "fillsFromLlc" : "fillsFromMemory").inc();
+    (llc_access.hit ? fillsFromLlcStat_ : fillsFromMemoryStat_)->inc();
 
     // The tag is installed immediately (the MSHR owns the line); data
     // readiness is tracked separately so demand fetches of in-flight
     // blocks see the residual latency.
     l1i_.insert(block_addr);
-    inFlight_[block_addr] = ready;
+    inFlight_.assign(block_addr, ready);
     if (fillHook_)
         fillHook_(block_addr, from_prefetch, ready);
     return ready;
@@ -56,38 +62,37 @@ InstMemory::demandFetch(Addr block_addr, Cycle now)
                "demandFetch of unaligned address");
 
     FetchResult out;
-    stats_.scalar("demandFetches").inc();
+    demandFetchesStat_->inc();
 
     if (params_.perfectL1I) {
         out.l1Hit = true;
         out.readyAt = now;
-        stats_.scalar("demandHits").inc();
+        demandHitsStat_->inc();
         return out;
     }
 
     expireInFlight(now);
 
     if (l1i_.access(block_addr)) {
-        const auto it = inFlight_.find(block_addr);
-        if (it == inFlight_.end()) {
+        const Cycle *ready = inFlight_.find(block_addr);
+        if (ready == nullptr) {
             // Present and ready.
             out.l1Hit = true;
             out.readyAt = now;
-            stats_.scalar("demandHits").inc();
+            demandHitsStat_->inc();
         } else {
             // Fill still in flight: the demand access waits out the
             // residual latency (partially hidden prefetch).
             out.wasInFlight = true;
-            out.readyAt = it->second;
-            stats_.scalar("demandInFlightHits").inc();
-            stats_.scalar("demandInFlightWaitCycles")
-                .inc(it->second - now);
+            out.readyAt = *ready;
+            demandInFlightHitsStat_->inc();
+            demandInFlightWaitStat_->inc(*ready - now);
         }
         return out;
     }
 
     // True miss: fill from LLC/memory.
-    stats_.scalar("demandMisses").inc();
+    demandMissesStat_->inc();
     out.readyAt = install(block_addr, /*from_prefetch=*/false, now,
                           /*extra_latency=*/0);
     return out;
@@ -104,12 +109,12 @@ InstMemory::prefetch(Addr block_addr, Cycle now, Cycle extra_latency)
     expireInFlight(now);
 
     if (l1i_.contains(block_addr)) {
-        const auto it = inFlight_.find(block_addr);
-        stats_.scalar("prefetchRedundant").inc();
-        return it == inFlight_.end() ? now : it->second;
+        const Cycle *ready = inFlight_.find(block_addr);
+        prefetchRedundantStat_->inc();
+        return ready == nullptr ? now : *ready;
     }
 
-    stats_.scalar("prefetchIssued").inc();
+    prefetchIssuedStat_->inc();
     return install(block_addr, /*from_prefetch=*/true, now, extra_latency);
 }
 
@@ -120,8 +125,8 @@ InstMemory::resident(Addr block_addr, Cycle now) const
         return true;
     if (!l1i_.contains(block_addr))
         return false;
-    const auto it = inFlight_.find(block_addr);
-    return it == inFlight_.end() || it->second <= now;
+    const Cycle *ready = inFlight_.find(block_addr);
+    return ready == nullptr || *ready <= now;
 }
 
 bool
@@ -134,10 +139,10 @@ unsigned
 InstMemory::inFlightCount(Cycle now) const
 {
     unsigned count = 0;
-    for (const auto &[block, ready] : inFlight_) {
+    inFlight_.forEach([&](Addr, const Cycle &ready) {
         if (ready > now)
             ++count;
-    }
+    });
     return count;
 }
 

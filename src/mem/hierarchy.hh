@@ -20,9 +20,8 @@
 #ifndef CFL_MEM_HIERARCHY_HH
 #define CFL_MEM_HIERARCHY_HH
 
-#include <functional>
-#include <unordered_map>
-
+#include "common/delegate.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache.hh"
@@ -44,15 +43,11 @@ class InstMemory
 {
   public:
     /** Fired when a block is installed in the L1-I.
-     *  @param block the block address
-     *  @param from_prefetch true if a prefetcher brought it
-     *  @param ready_at cycle at which the block (and its predecoded
-     *         metadata) is available */
-    using FillHook = std::function<void(Addr block, bool from_prefetch,
-                                        Cycle ready_at)>;
+     *  Arguments: block address, from_prefetch, fill-ready cycle. */
+    using FillHook = Delegate<void(Addr, bool, Cycle)>;
 
     /** Fired when a block leaves the L1-I. */
-    using EvictHook = std::function<void(Addr block)>;
+    using EvictHook = Delegate<void(Addr)>;
 
     InstMemory(const InstMemoryParams &params, Llc &llc);
 
@@ -86,7 +81,7 @@ class InstMemory
     /** Number of fills still in flight at @p now (MSHR occupancy). */
     unsigned inFlightCount(Cycle now) const;
 
-    void setFillHook(FillHook hook) { fillHook_ = std::move(hook); }
+    void setFillHook(FillHook hook) { fillHook_ = hook; }
     void setEvictHook(EvictHook hook);
 
     Cache &l1i() { return l1i_; }
@@ -108,8 +103,20 @@ class InstMemory
     StatSet stats_;
     FillHook fillHook_;
 
-    /** blockAddr -> fill completion cycle. */
-    std::unordered_map<Addr, Cycle> inFlight_;
+    /** blockAddr -> fill completion cycle (open-addressed: MSHR churn
+     *  stays off the allocator). */
+    FlatMap<Cycle> inFlight_;
+
+    // Hot counters resolved once; StatSet map nodes are stable.
+    Stat *demandFetchesStat_;
+    Stat *demandHitsStat_;
+    Stat *demandMissesStat_;
+    Stat *demandInFlightHitsStat_;
+    Stat *demandInFlightWaitStat_;
+    Stat *prefetchIssuedStat_;
+    Stat *prefetchRedundantStat_;
+    Stat *fillsFromLlcStat_;
+    Stat *fillsFromMemoryStat_;
 };
 
 } // namespace cfl

@@ -8,44 +8,48 @@ namespace cfl
 HistoryDirectory::HistoryDirectory(const ShiftParams &params, Llc &llc)
     : params_(params), llc_(llc)
 {
+    recorders_.fill(-1);
 }
 
 ShiftHistory &
-HistoryDirectory::registerWorkload(const std::string &name)
+HistoryDirectory::registerWorkload(WorkloadId workload)
 {
-    auto it = instances_.find(name);
-    if (it != instances_.end())
-        return *it->second;
+    std::unique_ptr<ShiftHistory> &slot =
+        instances_.at(workloadIndex(workload));
+    if (slot != nullptr)
+        return *slot;
 
     llc_.reserveMetadata(params_.historyLlcBytes());
     reservedBytes_ += params_.historyLlcBytes();
-    it = instances_
-             .emplace(name, std::make_unique<ShiftHistory>(params_))
-             .first;
-    return *it->second;
+    slot = std::make_unique<ShiftHistory>(params_);
+    ++numRegistered_;
+    return *slot;
 }
 
 ShiftHistory &
-HistoryDirectory::historyFor(const std::string &name)
+HistoryDirectory::historyFor(WorkloadId workload)
 {
-    const auto it = instances_.find(name);
-    cfl_assert(it != instances_.end(),
-               "no history instance for workload '%s'", name.c_str());
-    return *it->second;
+    std::unique_ptr<ShiftHistory> &slot =
+        instances_.at(workloadIndex(workload));
+    cfl_assert(slot != nullptr, "no history instance for workload '%s'",
+               workloadSlug(workload).c_str());
+    return *slot;
 }
 
 bool
-HistoryDirectory::has(const std::string &name) const
+HistoryDirectory::has(WorkloadId workload) const
 {
-    return instances_.find(name) != instances_.end();
+    return instances_.at(workloadIndex(workload)) != nullptr;
 }
 
 bool
-HistoryDirectory::claimRecorder(const std::string &name, unsigned core_id)
+HistoryDirectory::claimRecorder(WorkloadId workload, unsigned core_id)
 {
-    cfl_assert(has(name), "claimRecorder for unregistered workload");
-    const auto [it, inserted] = recorders_.emplace(name, core_id);
-    return inserted || it->second == core_id;
+    cfl_assert(has(workload), "claimRecorder for unregistered workload");
+    int &recorder = recorders_.at(workloadIndex(workload));
+    if (recorder < 0)
+        recorder = static_cast<int>(core_id);
+    return recorder == static_cast<int>(core_id);
 }
 
 } // namespace cfl

@@ -23,7 +23,7 @@ FdpPrefetcher::onBranchOutcome(unsigned branches, unsigned errors)
 }
 
 void
-FdpPrefetcher::onFetchRegion(const std::vector<Addr> &blocks,
+FdpPrefetcher::onFetchRegion(BlockRange blocks,
                              unsigned unresolved_branches, Cycle now)
 {
     // FDP follows the *predicted* path. In a real front end the region
@@ -37,13 +37,13 @@ FdpPrefetcher::onFetchRegion(const std::vector<Addr> &blocks,
     const double p_correct =
         std::pow(1.0 - errRate_, static_cast<double>(unresolved_branches));
     if (rng_.nextDouble() >= p_correct) {
-        stats_.scalar("wrongPathSuppressed").inc();
+        wrongPathSuppressedStat_->inc();
         return;
     }
 
     for (const Addr block : blocks) {
         if (!mem_.residentOrInFlight(block)) {
-            stats_.scalar("issued").inc();
+            issuedStat_->inc();
             mem_.prefetch(block, now);
         }
     }

@@ -28,8 +28,8 @@ class FdpPrefetcher : public InstPrefetcher
   public:
     explicit FdpPrefetcher(InstMemory &mem);
 
-    void onFetchRegion(const std::vector<Addr> &blocks,
-                       unsigned unresolved_branches, Cycle now) override;
+    void onFetchRegion(BlockRange blocks, unsigned unresolved_branches,
+                       Cycle now) override;
     void onBranchOutcome(unsigned branches, unsigned errors) override;
 
     /** Current per-branch prediction-error estimate (for tests). */
@@ -39,6 +39,10 @@ class FdpPrefetcher : public InstPrefetcher
     InstMemory &mem_;
     Rng rng_;
     double errRate_ = 0.10;  ///< pessimistic until feedback arrives
+
+    // Per-region counters resolved once (StatSet nodes are stable).
+    Stat *wrongPathSuppressedStat_ = &stats_.scalar("wrongPathSuppressed");
+    Stat *issuedStat_ = &stats_.scalar("issued");
 };
 
 } // namespace cfl

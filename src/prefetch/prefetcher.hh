@@ -11,8 +11,6 @@
 #ifndef CFL_PREFETCH_PREFETCHER_HH
 #define CFL_PREFETCH_PREFETCHER_HH
 
-#include <vector>
-
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -44,14 +42,16 @@ class InstPrefetcher
     }
 
     /**
-     * The BPU enqueued a fetch region spanning @p blocks.
+     * The BPU enqueued a fetch region spanning @p blocks. The range is
+     * a value type (a region always covers consecutive blocks), so the
+     * per-region call allocates nothing.
      *
      * @param unresolved_branches branch predictions sitting in the fetch
      *        queue ahead of this region (still speculative); prefetchers
      *        that follow the predicted path (FDP) compound their error
      *        across these (Section 2.1).
      */
-    virtual void onFetchRegion(const std::vector<Addr> &blocks,
+    virtual void onFetchRegion(BlockRange blocks,
                                unsigned unresolved_branches, Cycle now)
     {
         (void)blocks;

@@ -6,7 +6,10 @@ namespace cfl
 {
 
 ShiftHistory::ShiftHistory(const ShiftParams &params)
-    : params_(params), ring_(params.historyEntries, 0)
+    : params_(params),
+      ring_(params.historyEntries, 0),
+      index_(params.historyEntries / 4),
+      recordedStat_(&stats_.scalar("recorded"))
 {
     cfl_assert(params.historyEntries > 0, "history needs entries");
 }
@@ -19,20 +22,17 @@ ShiftHistory::record(Addr block_addr)
     lastRecorded_ = block_addr;
 
     ring_[head_ % ring_.size()] = block_addr;
-    index_[block_addr] = head_;
+    index_.assign(block_addr, head_);
     ++head_;
-    stats_.scalar("recorded").inc();
+    recordedStat_->inc();
 
     // Keep the index table bounded: drop entries that fell out of the
     // circular buffer periodically (models index pointers aging out of
     // the LLC tag array).
     if (head_ % (ring_.size() * 4) == 0) {
-        for (auto it = index_.begin(); it != index_.end();) {
-            if (!inReach(it->second))
-                it = index_.erase(it);
-            else
-                ++it;
-        }
+        index_.retainIf([this](Addr, const std::uint64_t &pos) {
+            return inReach(pos);
+        });
     }
 }
 
@@ -45,10 +45,10 @@ ShiftHistory::inReach(std::uint64_t pos) const
 std::optional<std::uint64_t>
 ShiftHistory::lookup(Addr block_addr) const
 {
-    const auto it = index_.find(block_addr);
-    if (it == index_.end() || !inReach(it->second))
+    const std::uint64_t *pos = index_.find(block_addr);
+    if (pos == nullptr || !inReach(*pos))
         return std::nullopt;
-    return it->second;
+    return *pos;
 }
 
 Addr
@@ -64,7 +64,14 @@ ShiftEngine::ShiftEngine(const ShiftParams &params, ShiftHistory &history,
       params_(params),
       history_(history),
       mem_(mem),
-      recorder_(recorder)
+      recorder_(recorder),
+      outstanding_(params.streamDepth),
+      issuedStat_(&stats_.scalar("issued")),
+      issueRedundantStat_(&stats_.scalar("issueRedundant")),
+      confirmedStat_(&stats_.scalar("confirmed")),
+      streamLappedStat_(&stats_.scalar("streamLapped")),
+      indexMissesStat_(&stats_.scalar("indexMisses")),
+      redirectsStat_(&stats_.scalar("redirects"))
 {
 }
 
@@ -77,19 +84,18 @@ ShiftEngine::issueAhead(Cycle now, Cycle extra_latency)
         if (!history_.inReach(cursor_)) {
             // The writer lapped us; the stream is stale.
             active_ = false;
-            stats_.scalar("streamLapped").inc();
+            streamLappedStat_->inc();
             return;
         }
         const Addr block = history_.at(cursor_++);
-        if (outstandingSet_.count(block) != 0)
+        if (outstanding_.contains(block))
             continue;
         outstanding_.push_back(block);
-        outstandingSet_.insert(block);
         if (!mem_.residentOrInFlight(block)) {
-            stats_.scalar("issued").inc();
+            issuedStat_->inc();
             mem_.prefetch(block, now, extra_latency);
         } else {
-            stats_.scalar("issueRedundant").inc();
+            issueRedundantStat_->inc();
         }
         ++issued;
     }
@@ -98,7 +104,7 @@ ShiftEngine::issueAhead(Cycle now, Cycle extra_latency)
 bool
 ShiftEngine::confirm(Addr block_addr)
 {
-    if (outstandingSet_.count(block_addr) == 0)
+    if (!outstanding_.contains(block_addr))
         return false;
     // In-order-ish confirmation: retire predictions up to and including
     // the confirmed block (earlier ones were skipped by the fetch stream
@@ -106,11 +112,10 @@ ShiftEngine::confirm(Addr block_addr)
     while (!outstanding_.empty()) {
         const Addr front = outstanding_.front();
         outstanding_.pop_front();
-        outstandingSet_.erase(front);
         if (front == block_addr)
             break;
     }
-    stats_.scalar("confirmed").inc();
+    confirmedStat_->inc();
     return true;
 }
 
@@ -129,7 +134,7 @@ ShiftEngine::onDemandAccess(Addr block_addr, Cycle now)
 void
 ShiftEngine::onDemandMiss(Addr block_addr, Cycle now)
 {
-    if (active_ && outstandingSet_.count(block_addr) != 0) {
+    if (active_ && outstanding_.contains(block_addr)) {
         // Already predicted (fill in flight or just confirmed): the
         // stream is on track; onDemandAccess handles advancement.
         return;
@@ -139,16 +144,15 @@ ShiftEngine::onDemandMiss(Addr block_addr, Cycle now)
     // block in the shared history and replay from there.
     const auto pos = history_.lookup(block_addr);
     if (!pos) {
-        stats_.scalar("indexMisses").inc();
+        indexMissesStat_->inc();
         active_ = false;
         return;
     }
 
-    stats_.scalar("redirects").inc();
+    redirectsStat_->inc();
     active_ = true;
     cursor_ = *pos + 1;  // the entry at *pos is the missing block itself
     outstanding_.clear();
-    outstandingSet_.clear();
     // The first batch pays the LLC metadata-read latency.
     issueAhead(now, params_.historyReadLatency);
 }

@@ -25,12 +25,11 @@
 #define CFL_PREFETCH_SHIFT_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.hh"
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/hierarchy.hh"
@@ -89,9 +88,12 @@ class ShiftHistory
     std::vector<Addr> ring_;
     std::uint64_t head_ = 0;  ///< absolute write position
     Addr lastRecorded_ = ~0ull;
-    /** Index table: block -> most recent absolute position. */
-    std::unordered_map<Addr, std::uint64_t> index_;
+    /** Index table: block -> most recent absolute position. Flat and
+     *  open-addressed: record() runs per L1-I block transition, and the
+     *  insert/erase churn must stay off the allocator. */
+    FlatMap<std::uint64_t> index_;
     StatSet stats_{"shift.history"};
+    Stat *recordedStat_;
 };
 
 /** Per-core SHIFT stream-replay engine. */
@@ -122,8 +124,18 @@ class ShiftEngine : public InstPrefetcher
 
     bool active_ = false;
     std::uint64_t cursor_ = 0;  ///< next unread absolute history position
-    std::deque<Addr> outstanding_;
-    std::unordered_set<Addr> outstandingSet_;
+
+    /** Predicted-but-unconfirmed blocks: a fixed ring of at most
+     *  streamDepth entries; membership tests scan it linearly (two dozen
+     *  entries) instead of maintaining a parallel hash set. */
+    RingBuffer<Addr> outstanding_;
+
+    Stat *issuedStat_;
+    Stat *issueRedundantStat_;
+    Stat *confirmedStat_;
+    Stat *streamLappedStat_;
+    Stat *indexMissesStat_;
+    Stat *redirectsStat_;
 };
 
 } // namespace cfl

@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "sim/metrics.hh"
 #include "sim/sweep.hh"
+#include "trace/trace_cache.hh"
 
 namespace cfl
 {
@@ -69,6 +70,15 @@ runFunctionalStudy(WorkloadId workload, const FunctionalSetup &setup,
     Predecoder predecoder(config.predecodeLatency);
     ExecEngine engine(program, wparams, setup.engineSeed);
 
+    // Coverage figures evaluate many BTB/prefetcher variants over the
+    // same (workload, seed) stream; replaying one shared immutable trace
+    // removes the per-point regeneration. The driver consumes exactly
+    // warmup + measure instructions.
+    if (auto trace = traceCache().acquire(
+            workload, setup.engineSeed,
+            fconfig.warmupInsts + fconfig.measureInsts))
+        engine.attachTrace(std::move(trace));
+
     std::unique_ptr<Btb> btb = btb_factory(program, predecoder);
     cfl_assert(btb != nullptr, "btb_factory returned null");
 
@@ -93,15 +103,24 @@ runFunctionalStudy(WorkloadId workload, const FunctionalSetup &setup,
         cfl_assert(!setup.useShift, "SHIFT needs an L1-I");
     }
 
-    if (auto *air = dynamic_cast<AirBtb *>(btb.get())) {
-        if (mem != nullptr) {
-            air->setFillRequest([m = mem.get(),
-                                 pf = shift.get()](Addr block, Cycle now) {
-                if (pf != nullptr)
-                    pf->onDemandMiss(block, now);
-                m->prefetch(block, now);
-            });
+    // Stack-local fill-request callable; it outlives the driver run.
+    struct FillRequester
+    {
+        InstMemory *mem;
+        ShiftEngine *pf;
+        void
+        operator()(Addr block, Cycle now)
+        {
+            if (pf != nullptr)
+                pf->onDemandMiss(block, now);
+            mem->prefetch(block, now);
         }
+    } fill_requester{mem.get(), shift.get()};
+
+    if (auto *air = dynamic_cast<AirBtb *>(btb.get())) {
+        if (mem != nullptr)
+            air->setFillRequest(
+                AirBtb::FillRequest::callable(&fill_requester));
     }
 
     FunctionalDriver driver(engine, *btb, mem.get(), shift.get(),

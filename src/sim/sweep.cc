@@ -199,6 +199,10 @@ SweepResult::geomeanSpeedup(FrontendKind kind, FrontendKind baseline) const
 void
 SweepResult::merge(SweepResult &&other)
 {
+    // Pre-size for the combined outcome count: shard merges append many
+    // results in sequence, and repeated geometric growth both
+    // reallocates and copies the accumulated vector over and over.
+    points.reserve(points.size() + other.points.size());
     points.insert(points.end(),
                   std::make_move_iterator(other.points.begin()),
                   std::make_move_iterator(other.points.end()));

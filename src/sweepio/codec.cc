@@ -1,5 +1,6 @@
 #include "sweepio/codec.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <sstream>
@@ -354,6 +355,11 @@ SweepResult
 decodeResult(const std::string &text)
 {
     SweepResult result;
+    // One outcome per line: size the vector from a newline count instead
+    // of growing it geometrically while parsing large shard files.
+    result.points.reserve(
+        static_cast<std::size_t>(
+            std::count(text.begin(), text.end(), '\n')) + 1);
     forEachLine(text, [&](const std::string &line) {
         result.points.push_back(decodeOutcome(line));
     });
@@ -375,7 +381,11 @@ std::vector<SweepPoint>
 readPoints(const std::string &path)
 {
     std::vector<SweepPoint> points;
-    forEachLine(slurp(path), [&](const std::string &line) {
+    const std::string text = slurp(path);
+    points.reserve(
+        static_cast<std::size_t>(
+            std::count(text.begin(), text.end(), '\n')) + 1);
+    forEachLine(text, [&](const std::string &line) {
         points.push_back(decodePoint(line));
     });
     return points;

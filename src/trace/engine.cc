@@ -1,6 +1,7 @@
 #include "trace/engine.hh"
 
 #include "common/logging.hh"
+#include "trace/trace_buffer.hh"
 #include "workloads/generator.hh"
 
 namespace cfl
@@ -11,10 +12,12 @@ ExecEngine::ExecEngine(const Program &program, const EngineParams &params)
       behavior_(params.branchNoise),
       rng_(params.seed),
       zipfSkew_(params.zipfSkew),
+      params_(params),
       pc_(program.entry)
 {
     cfl_assert(program_.image.contains(pc_), "program entry outside image");
     cfl_assert(!program_.handlers.empty(), "program has no request handlers");
+    stack_.reserve(64);
 }
 
 ExecEngine::ExecEngine(const Program &program, const WorkloadParams &wparams,
@@ -22,6 +25,47 @@ ExecEngine::ExecEngine(const Program &program, const WorkloadParams &wparams,
     : ExecEngine(program,
                  EngineParams{seed, wparams.zipfSkew, wparams.branchNoise})
 {
+}
+
+void
+ExecEngine::attachTrace(std::shared_ptr<const TraceBuffer> trace)
+{
+    cfl_assert(trace != nullptr, "attachTrace(nullptr)");
+    cfl_assert(instCount_ == 0 && !hasPeek_,
+               "attachTrace after instructions were consumed");
+    trace_ = std::move(trace);
+    traceCursor_ = 0;
+}
+
+EngineSnapshot
+ExecEngine::snapshot() const
+{
+    cfl_assert(trace_ == nullptr, "snapshot of a replaying engine");
+    EngineSnapshot s;
+    s.params = params_;
+    s.rng = rng_;
+    s.pc = pc_;
+    s.stack = stack_;
+    s.loopCounters = loopCounters_;
+    s.requestType = requestType_;
+    s.requestCount = requestCount_;
+    s.instCount = instCount_;
+    return s;
+}
+
+void
+ExecEngine::restore(const EngineSnapshot &snap)
+{
+    rng_ = snap.rng;
+    pc_ = snap.pc;
+    stack_ = snap.stack;
+    loopCounters_ = snap.loopCounters;
+    requestType_ = snap.requestType;
+    requestCount_ = snap.requestCount;
+    cfl_assert(instCount_ == snap.instCount,
+               "trace tail snapshot out of sync with replay cursor");
+    trace_.reset();
+    traceCursor_ = 0;
 }
 
 const DynInst &
@@ -45,6 +89,23 @@ ExecEngine::next()
 
 void
 ExecEngine::step()
+{
+    if (trace_ != nullptr) {
+        if (traceCursor_ < trace_->size()) {
+            trace_->read(traceCursor_++, cur_);
+            ++instCount_;
+            return;
+        }
+        // Buffered prefix exhausted: continue generating from the
+        // buffer's tail state; the combined stream is bit-identical to
+        // one generated from scratch.
+        restore(trace_->tailSnapshot());
+    }
+    generate();
+}
+
+void
+ExecEngine::generate()
 {
     const InstWord word = program_.image.at(pc_);
     const BranchKind kind = decodeKind(word);

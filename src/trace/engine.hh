@@ -8,15 +8,27 @@
  * iteration of the dispatch loop (Zipf-distributed popularity), and asks
  * the BranchBehavior model for every outcome. Two engines constructed
  * with the same (program, seed) produce identical streams.
+ *
+ * Engines run in one of two modes:
+ *  - *generation* (default): execute the program instruction by
+ *    instruction, exactly as before;
+ *  - *replay*: attachTrace() hands the engine an immutable, pre-generated
+ *    TraceBuffer for the same (program, params) pair; next()/peek() then
+ *    stream instructions out of the buffer's flat arrays with no RNG,
+ *    behavior-model, or image work at all. If a consumer runs past the
+ *    buffered prefix, the engine restores the generator state snapshot
+ *    the buffer carries and continues generating — so a replayed stream
+ *    is bit-identical to a generated one at every length.
  */
 
 #ifndef CFL_TRACE_ENGINE_HH
 #define CFL_TRACE_ENGINE_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
+#include "common/flat_map.hh"
 #include "common/rng.hh"
 #include "isa/inst.hh"
 #include "trace/behavior.hh"
@@ -26,6 +38,8 @@
 namespace cfl
 {
 
+class TraceBuffer;
+
 /** Execution-engine tunables (defaults come from the workload). */
 struct EngineParams
 {
@@ -34,7 +48,24 @@ struct EngineParams
     double branchNoise = 0.03;
 };
 
-/** Generates the dynamic instruction stream of one core. */
+/**
+ * Complete generator state of an ExecEngine, detached from the engine.
+ * A TraceBuffer stores the snapshot taken after its last instruction so
+ * replay can continue generating past the buffered prefix.
+ */
+struct EngineSnapshot
+{
+    EngineParams params;
+    Rng rng{0};
+    Addr pc = 0;
+    std::vector<Addr> stack;
+    FlatMap<std::uint32_t> loopCounters;
+    std::uint32_t requestType = 0;
+    std::uint64_t requestCount = 0;
+    std::uint64_t instCount = 0;
+};
+
+/** Generates (or replays) the dynamic instruction stream of one core. */
 class ExecEngine
 {
   public:
@@ -49,6 +80,20 @@ class ExecEngine
 
     /** The instruction that next() will return, without advancing. */
     const DynInst &peek();
+
+    /**
+     * Switch to replay mode: stream instructions from @p trace instead
+     * of generating them. Must be called before the first instruction is
+     * consumed, and the buffer must have been generated from the same
+     * (program, params) pair for the stream to be faithful.
+     */
+    void attachTrace(std::shared_ptr<const TraceBuffer> trace);
+
+    /** True while instructions come from an attached trace. */
+    bool replaying() const { return trace_ != nullptr; }
+
+    /** Capture the current generator state (generation mode only). */
+    EngineSnapshot snapshot() const;
 
     /** Number of requests dispatched so far. */
     std::uint64_t requestCount() const { return requestCount_; }
@@ -66,19 +111,27 @@ class ExecEngine
 
   private:
     void step();
+    void generate();
+
+    /** Leave replay mode by adopting the trace's tail snapshot. */
+    void restore(const EngineSnapshot &snap);
 
     const Program &program_;
     BranchBehavior behavior_;
     Rng rng_;
     double zipfSkew_;
+    EngineParams params_;
 
     Addr pc_;
     std::vector<Addr> stack_;
-    std::unordered_map<Addr, std::uint32_t> loopCounters_;
+    FlatMap<std::uint32_t> loopCounters_;
 
     std::uint32_t requestType_ = 0;
     std::uint64_t requestCount_ = 0;
     std::uint64_t instCount_ = 0;
+
+    std::shared_ptr<const TraceBuffer> trace_;
+    std::uint64_t traceCursor_ = 0;
 
     DynInst cur_;
     bool hasPeek_ = false;

@@ -1,0 +1,43 @@
+#include "trace/trace_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+TraceBuffer::TraceBuffer(const Program &program, const EngineParams &params,
+                         std::uint64_t num_insts)
+    : numInsts_(num_insts), arenaBytes_(arenaBytesFor(num_insts))
+{
+    cfl_assert(num_insts > 0, "empty trace buffer");
+    arena_ = std::make_unique<std::byte[]>(arenaBytes_);
+
+    // Carve the SoA columns out of the arena widest-first so every
+    // column lands on its natural alignment.
+    std::byte *base = arena_.get();
+    auto *pc = reinterpret_cast<Addr *>(base);
+    auto *target = reinterpret_cast<Addr *>(base + 8 * num_insts);
+    auto *request_id =
+        reinterpret_cast<std::uint32_t *>(base + 16 * num_insts);
+    auto *kind = reinterpret_cast<std::uint8_t *>(base + 20 * num_insts);
+    auto *taken = reinterpret_cast<std::uint8_t *>(base + 21 * num_insts);
+
+    ExecEngine engine(program, params);
+    for (std::uint64_t i = 0; i < num_insts; ++i) {
+        const DynInst &inst = engine.next();
+        pc[i] = inst.pc;
+        target[i] = inst.target;
+        request_id[i] = inst.requestId;
+        kind[i] = static_cast<std::uint8_t>(inst.kind);
+        taken[i] = inst.taken ? 1 : 0;
+    }
+    tail_ = engine.snapshot();
+
+    pc_ = pc;
+    target_ = target;
+    requestId_ = request_id;
+    kind_ = kind;
+    taken_ = taken;
+}
+
+} // namespace cfl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Immutable, arena-backed SoA storage for a pre-generated oracle trace.
+ *
+ * A TraceBuffer captures the first N dynamic instructions an ExecEngine
+ * with a given (program, params) pair would produce, laid out as five
+ * parallel flat arrays (structure-of-arrays) carved out of one
+ * contiguous arena allocation: pc, target, requestId, kind, taken.
+ * Replay is a handful of indexed loads per instruction — no RNG, no
+ * behavior model, no image decode — and the buffer is deeply const, so
+ * any number of engines on any threads can replay one buffer
+ * concurrently (the sharing the TraceCache exploits).
+ *
+ * The buffer also carries the generator state snapshot taken *after*
+ * instruction N-1, so an engine that consumes past the buffered prefix
+ * seamlessly resumes live generation with a bit-identical stream.
+ */
+
+#ifndef CFL_TRACE_TRACE_BUFFER_HH
+#define CFL_TRACE_TRACE_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "trace/engine.hh"
+#include "workloads/program.hh"
+
+namespace cfl
+{
+
+/** One immutable pre-generated instruction trace. */
+class TraceBuffer
+{
+  public:
+    /**
+     * Generate the first @p num_insts instructions of
+     * ExecEngine(program, params) into a fresh arena.
+     */
+    TraceBuffer(const Program &program, const EngineParams &params,
+                std::uint64_t num_insts);
+
+    TraceBuffer(const TraceBuffer &) = delete;
+    TraceBuffer &operator=(const TraceBuffer &) = delete;
+
+    /** Instructions stored. */
+    std::uint64_t size() const { return numInsts_; }
+
+    /** Load instruction @p i into @p out. */
+    void
+    read(std::uint64_t i, DynInst &out) const
+    {
+        out.pc = pc_[i];
+        out.target = target_[i];
+        out.requestId = requestId_[i];
+        out.kind = static_cast<BranchKind>(kind_[i]);
+        out.taken = taken_[i] != 0;
+    }
+
+    /** Generator state after the last stored instruction. */
+    const EngineSnapshot &tailSnapshot() const { return tail_; }
+
+    /** The parameters the trace was generated with. */
+    const EngineParams &params() const { return tail_.params; }
+
+    /** Arena footprint in bytes (for cache budgeting). */
+    std::uint64_t arenaBytes() const { return arenaBytes_; }
+
+    /** Arena bytes a buffer of @p num_insts instructions will occupy. */
+    static std::uint64_t
+    arenaBytesFor(std::uint64_t num_insts)
+    {
+        return num_insts * (2 * sizeof(Addr) + sizeof(std::uint32_t) +
+                            2 * sizeof(std::uint8_t));
+    }
+
+  private:
+    std::uint64_t numInsts_;
+    std::uint64_t arenaBytes_;
+    std::unique_ptr<std::byte[]> arena_;
+
+    // Column views into the arena.
+    const Addr *pc_ = nullptr;
+    const Addr *target_ = nullptr;
+    const std::uint32_t *requestId_ = nullptr;
+    const std::uint8_t *kind_ = nullptr;
+    const std::uint8_t *taken_ = nullptr;
+
+    EngineSnapshot tail_;
+};
+
+} // namespace cfl
+
+#endif // CFL_TRACE_TRACE_BUFFER_HH

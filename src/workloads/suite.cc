@@ -1,12 +1,15 @@
 #include "workloads/suite.hh"
 
-#include <map>
+#include <array>
+#include <memory>
 #include <mutex>
 
 #include "common/logging.hh"
 
 namespace cfl
 {
+
+static_assert(kNumWorkloads == 5, "keep kNumWorkloads in sync with the enum");
 
 const std::vector<WorkloadId> &
 allWorkloads()
@@ -175,14 +178,17 @@ workloadParams(WorkloadId id)
 const Program &
 workloadProgram(WorkloadId id)
 {
+    // Dense per-id slots: the ids are interned integers, so the cache is
+    // an array lookup rather than a map walk.
     static std::mutex mutex;
-    static std::map<WorkloadId, Program> cache;
+    static std::array<std::unique_ptr<Program>, kNumWorkloads> cache;
 
     std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find(id);
-    if (it == cache.end())
-        it = cache.emplace(id, generateWorkload(workloadParams(id))).first;
-    return it->second;
+    std::unique_ptr<Program> &slot = cache.at(workloadIndex(id));
+    if (slot == nullptr)
+        slot = std::make_unique<Program>(
+            generateWorkload(workloadParams(id)));
+    return *slot;
 }
 
 } // namespace cfl

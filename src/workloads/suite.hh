@@ -27,7 +27,15 @@
 namespace cfl
 {
 
-/** Identifier of a workload preset. */
+/**
+ * Identifier of a workload preset.
+ *
+ * WorkloadId doubles as the process-wide *interned name* of a workload:
+ * the enum values are dense (0..kNumWorkloads-1), so hot paths key
+ * per-workload state by integer (array index) instead of by name
+ * string, and workloadSlug()/workloadFromSlug() round-trip the id
+ * through its stable machine-readable name at the serialization edges.
+ */
 enum class WorkloadId
 {
     OltpDb2,
@@ -36,6 +44,16 @@ enum class WorkloadId
     MediaStreaming,
     WebFrontend,
 };
+
+/** Number of workload presets (the ids are dense in [0, this)). */
+inline constexpr std::size_t kNumWorkloads = 5;
+
+/** Dense array index of a workload id. */
+constexpr std::size_t
+workloadIndex(WorkloadId id)
+{
+    return static_cast<std::size_t>(id);
+}
 
 /** All workloads in paper order. */
 const std::vector<WorkloadId> &allWorkloads();

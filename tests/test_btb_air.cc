@@ -115,8 +115,9 @@ TEST_F(AirBtbTest, SyncModeDefersLearnsAndRequestsFill)
 {
     AirBtb btb(params(), image, predecoder);
     std::vector<Addr> requested;
+    auto record_request = [&](Addr b, Cycle) { requested.push_back(b); };
     btb.setFillRequest(
-        [&](Addr b, Cycle) { requested.push_back(b); });
+        AirBtb::FillRequest::callable(&record_request));
 
     // Learn for a block with no bundle: must defer and request the fill.
     btb.learn(0x40004, BranchKind::Cond, 0x40044, 0);

@@ -5,7 +5,10 @@
 #include <set>
 
 #include "common/bitops.hh"
+#include "common/delegate.hh"
+#include "common/flat_map.hh"
 #include "common/report.hh"
+#include "common/ring.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -153,4 +156,110 @@ TEST(Report, Formatters)
     EXPECT_EQ(Report::num(1.2345, 2), "1.23");
     EXPECT_EQ(Report::pct(0.931, 1), "93.1%");
     EXPECT_EQ(Report::ratio(1.3, 2), "1.30x");
+}
+
+TEST(BlockRange, CoversRegionBlocks)
+{
+    const BlockRange r = blockRangeOf(0x1038, 4);  // crosses into 0x1040
+    EXPECT_EQ(r.first, 0x1000u);
+    EXPECT_EQ(r.count, 2u);
+    std::vector<Addr> blocks;
+    for (const Addr b : r)
+        blocks.push_back(b);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0], 0x1000u);
+    EXPECT_EQ(blocks[1], 0x1040u);
+    EXPECT_TRUE(blockRangeOf(0x1000, 0).empty());
+}
+
+TEST(FlatMap, InsertFindEraseGrow)
+{
+    FlatMap<int> m(8);
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        m[k * 64] = static_cast<int>(k);
+    EXPECT_EQ(m.size(), 1000u);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        const int *v = m.find(k * 64);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, static_cast<int>(k));
+    }
+    EXPECT_EQ(m.find(64001), nullptr);
+
+    // Erase half, re-check, then churn through tombstones.
+    for (std::uint64_t k = 0; k < 1000; k += 2)
+        EXPECT_TRUE(m.erase(k * 64));
+    EXPECT_FALSE(m.erase(0));
+    EXPECT_EQ(m.size(), 500u);
+    for (std::uint64_t k = 1; k < 1000; k += 2)
+        ASSERT_NE(m.find(k * 64), nullptr);
+    for (int round = 0; round < 2000; ++round) {
+        m[12345] = round;
+        EXPECT_TRUE(m.erase(12345));
+    }
+    EXPECT_EQ(m.size(), 500u);
+
+    std::size_t visited = 0;
+    m.forEach([&](std::uint64_t, const int &) { ++visited; });
+    EXPECT_EQ(visited, 500u);
+
+    // Odd-k keys below 320 are 64 (k=1) and 192 (k=3).
+    m.retainIf([](std::uint64_t k, const int &) { return k < 320; });
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(RingBuffer, FifoWrapAndGrow)
+{
+    RingBuffer<int> ring(2);
+    for (int i = 0; i < 100; ++i) {
+        ring.push_back(i);
+        ring.push_back(i + 1000);
+        EXPECT_EQ(ring.front(), i);
+        ring.pop_front();
+        EXPECT_EQ(ring.front(), i + 1000);
+        ring.pop_front();
+    }
+    EXPECT_TRUE(ring.empty());
+
+    for (int i = 0; i < 37; ++i)
+        ring.push_back(i);
+    EXPECT_EQ(ring.size(), 37u);
+    EXPECT_EQ(ring[0], 0);
+    EXPECT_EQ(ring.back(), 36);
+    EXPECT_TRUE(ring.contains(20));
+    EXPECT_FALSE(ring.contains(99));
+    int expect = 0;
+    for (const int v : ring)
+        EXPECT_EQ(v, expect++);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+}
+
+namespace
+{
+
+struct Accumulator
+{
+    int total = 0;
+    void add(int v) { total += v; }
+};
+
+} // namespace
+
+TEST(Delegate, BindsMembersAndCallables)
+{
+    Accumulator acc;
+    auto d = Delegate<void(int)>::bind<&Accumulator::add>(&acc);
+    EXPECT_TRUE(static_cast<bool>(d));
+    d(5);
+    d(7);
+    EXPECT_EQ(acc.total, 12);
+
+    int seen = 0;
+    auto fn = [&](int v) { seen = v; };
+    auto c = Delegate<void(int)>::callable(&fn);
+    c(42);
+    EXPECT_EQ(seen, 42);
+
+    Delegate<void(int)> empty;
+    EXPECT_FALSE(static_cast<bool>(empty));
 }

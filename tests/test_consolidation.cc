@@ -21,12 +21,12 @@ struct Env
 TEST(Consolidation, InstancesArePerWorkload)
 {
     Env env;
-    ShiftHistory &a = env.dir.registerWorkload("oltp");
-    ShiftHistory &b = env.dir.registerWorkload("web");
+    ShiftHistory &a = env.dir.registerWorkload(WorkloadId::OltpDb2);
+    ShiftHistory &b = env.dir.registerWorkload(WorkloadId::WebFrontend);
     EXPECT_NE(&a, &b);
     EXPECT_EQ(env.dir.numWorkloads(), 2u);
-    EXPECT_TRUE(env.dir.has("oltp"));
-    EXPECT_FALSE(env.dir.has("dss"));
+    EXPECT_TRUE(env.dir.has(WorkloadId::OltpDb2));
+    EXPECT_FALSE(env.dir.has(WorkloadId::DssQry));
 
     a.record(0x1000);
     EXPECT_TRUE(a.lookup(0x1000).has_value());
@@ -37,8 +37,8 @@ TEST(Consolidation, InstancesArePerWorkload)
 TEST(Consolidation, ReregistrationReturnsSameInstance)
 {
     Env env;
-    ShiftHistory &a1 = env.dir.registerWorkload("oltp");
-    ShiftHistory &a2 = env.dir.registerWorkload("oltp");
+    ShiftHistory &a1 = env.dir.registerWorkload(WorkloadId::OltpDb2);
+    ShiftHistory &a2 = env.dir.registerWorkload(WorkloadId::OltpDb2);
     EXPECT_EQ(&a1, &a2);
     EXPECT_EQ(env.dir.numWorkloads(), 1u);
 }
@@ -47,9 +47,9 @@ TEST(Consolidation, EachInstanceReservesLlcCapacity)
 {
     Env env;
     const auto before = env.llc.cache().capacityBytes();
-    env.dir.registerWorkload("oltp");
+    env.dir.registerWorkload(WorkloadId::OltpDb2);
     const auto after_one = env.llc.cache().capacityBytes();
-    env.dir.registerWorkload("web");
+    env.dir.registerWorkload(WorkloadId::WebFrontend);
     const auto after_two = env.llc.cache().capacityBytes();
 
     const ShiftParams params;
@@ -61,13 +61,13 @@ TEST(Consolidation, EachInstanceReservesLlcCapacity)
 TEST(Consolidation, SingleRecorderPerWorkload)
 {
     Env env;
-    env.dir.registerWorkload("oltp");
-    env.dir.registerWorkload("web");
-    EXPECT_TRUE(env.dir.claimRecorder("oltp", 0));
-    EXPECT_FALSE(env.dir.claimRecorder("oltp", 1))
+    env.dir.registerWorkload(WorkloadId::OltpDb2);
+    env.dir.registerWorkload(WorkloadId::WebFrontend);
+    EXPECT_TRUE(env.dir.claimRecorder(WorkloadId::OltpDb2, 0));
+    EXPECT_FALSE(env.dir.claimRecorder(WorkloadId::OltpDb2, 1))
         << "only the first core of a workload records";
-    EXPECT_TRUE(env.dir.claimRecorder("oltp", 0)) << "idempotent";
-    EXPECT_TRUE(env.dir.claimRecorder("web", 1))
+    EXPECT_TRUE(env.dir.claimRecorder(WorkloadId::OltpDb2, 0)) << "idempotent";
+    EXPECT_TRUE(env.dir.claimRecorder(WorkloadId::WebFrontend, 1))
         << "a different workload gets its own recorder";
 }
 
@@ -77,8 +77,8 @@ TEST(Consolidation, ConsolidatedEnginesPrefetchIndependently)
     // each replays only its own stream.
     Env env;
     ShiftParams params;
-    ShiftHistory &oltp = env.dir.registerWorkload("oltp");
-    ShiftHistory &web = env.dir.registerWorkload("web");
+    ShiftHistory &oltp = env.dir.registerWorkload(WorkloadId::OltpDb2);
+    ShiftHistory &web = env.dir.registerWorkload(WorkloadId::WebFrontend);
 
     InstMemory mem_oltp(InstMemoryParams{}, env.llc);
     InstMemory mem_web(InstMemoryParams{}, env.llc);

@@ -52,7 +52,8 @@ TEST(Cache, EvictHookFires)
 {
     Cache cache("t", 2 * kBlockBytes, 2);  // one set, two ways
     std::vector<Addr> evicted;
-    cache.setEvictHook([&](Addr a) { evicted.push_back(a); });
+    auto record_evict = [&](Addr a) { evicted.push_back(a); };
+    cache.setEvictHook(Cache::EvictHook::callable(&record_evict));
     cache.insert(0x0000);
     cache.insert(0x0040);
     cache.insert(0x0080);
@@ -166,10 +167,12 @@ TEST(InstMemory, FillAndEvictHooks)
 
     std::vector<std::pair<Addr, bool>> fills;
     std::vector<Addr> evictions;
-    mem.setFillHook([&](Addr block, bool pf, Cycle) {
+    auto record_fill = [&](Addr block, bool pf, Cycle) {
         fills.emplace_back(block, pf);
-    });
-    mem.setEvictHook([&](Addr block) { evictions.push_back(block); });
+    };
+    auto record_evict = [&](Addr block) { evictions.push_back(block); };
+    mem.setFillHook(InstMemory::FillHook::callable(&record_fill));
+    mem.setEvictHook(InstMemory::EvictHook::callable(&record_evict));
 
     mem.demandFetch(0x0000, 1);
     mem.prefetch(0x0040, 2);

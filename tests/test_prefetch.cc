@@ -24,7 +24,7 @@ TEST(Fdp, PrefetchesEnqueuedRegionBlocks)
     MemEnv env;
     FdpPrefetcher fdp(env.mem);
     // Confident prefetcher (no unresolved branches ahead).
-    fdp.onFetchRegion({0x8000, 0x8040}, /*unresolved=*/0, /*now=*/10);
+    fdp.onFetchRegion({0x8000, 2}, /*unresolved=*/0, /*now=*/10);
     EXPECT_TRUE(env.mem.residentOrInFlight(0x8000));
     EXPECT_TRUE(env.mem.residentOrInFlight(0x8040));
     EXPECT_EQ(fdp.stats().get("issued"), 2u);
@@ -35,7 +35,7 @@ TEST(Fdp, SkipsResidentBlocks)
     MemEnv env;
     FdpPrefetcher fdp(env.mem);
     env.mem.demandFetch(0x8000, 1);
-    fdp.onFetchRegion({0x8000}, 0, 10);
+    fdp.onFetchRegion({0x8000, 1}, 0, 10);
     EXPECT_EQ(fdp.stats().get("issued"), 0u);
 }
 
@@ -61,7 +61,7 @@ TEST(Fdp, DeepSpeculationSuppressed)
     for (int i = 0; i < 20000; ++i)
         fdp.onBranchOutcome(2, 1);
     for (int i = 0; i < 200; ++i) {
-        fdp.onFetchRegion({blockAlign(0x100000 + i * 64ull)},
+        fdp.onFetchRegion({blockAlign(0x100000 + i * 64ull), 1},
                           /*unresolved=*/12, 10);
     }
     EXPECT_GT(fdp.stats().get("wrongPathSuppressed"), 100u);

@@ -1,0 +1,230 @@
+/**
+ * @file Tests for shared immutable traces: TraceBuffer replay fidelity,
+ * TraceCache sharing/thread-safety/budget, and bit-identity of cached
+ * sweeps against the pre-cache golden pins.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sim/sweep.hh"
+#include "trace/trace_cache.hh"
+
+using namespace cfl;
+
+namespace
+{
+
+EngineParams
+paramsFor(WorkloadId wl, std::uint64_t seed)
+{
+    const WorkloadParams wp = workloadParams(wl);
+    return EngineParams{seed, wp.zipfSkew, wp.branchNoise};
+}
+
+void
+expectSameInst(const DynInst &a, const DynInst &b, std::uint64_t i)
+{
+    ASSERT_EQ(a.pc, b.pc) << "inst " << i;
+    ASSERT_EQ(a.kind, b.kind) << "inst " << i;
+    ASSERT_EQ(a.taken, b.taken) << "inst " << i;
+    ASSERT_EQ(a.target, b.target) << "inst " << i;
+    ASSERT_EQ(a.requestId, b.requestId) << "inst " << i;
+}
+
+} // namespace
+
+TEST(TraceBuffer, ReplayMatchesLiveGenerationIncludingTail)
+{
+    const WorkloadId wl = WorkloadId::DssQry;
+    const Program &program = workloadProgram(wl);
+    const EngineParams params = paramsFor(wl, 0x1234);
+
+    // Buffer shorter than the run: the replaying engine must cross the
+    // buffered prefix and continue generating, bit-identically.
+    const std::uint64_t buffered = 1000;
+    auto trace = std::make_shared<const TraceBuffer>(program, params,
+                                                     buffered);
+    ASSERT_EQ(trace->size(), buffered);
+
+    ExecEngine live(program, params);
+    ExecEngine replay(program, params);
+    replay.attachTrace(trace);
+    EXPECT_TRUE(replay.replaying());
+
+    for (std::uint64_t i = 0; i < 3 * buffered; ++i) {
+        const DynInst a = live.next();
+        const DynInst b = replay.next();
+        expectSameInst(a, b, i);
+        ASSERT_EQ(live.instCount(), replay.instCount()) << "inst " << i;
+    }
+    EXPECT_FALSE(replay.replaying()) << "tail continuation left replay mode";
+}
+
+TEST(TraceBuffer, PeekSemanticsMatchUnderReplay)
+{
+    const WorkloadId wl = WorkloadId::MediaStreaming;
+    const Program &program = workloadProgram(wl);
+    const EngineParams params = paramsFor(wl, 0x77);
+
+    auto trace =
+        std::make_shared<const TraceBuffer>(program, params, 512);
+    ExecEngine live(program, params);
+    ExecEngine replay(program, params);
+    replay.attachTrace(trace);
+
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+        expectSameInst(live.peek(), replay.peek(), i);
+        expectSameInst(live.next(), replay.next(), i);
+    }
+}
+
+TEST(TraceCache, SamePointSameBufferAcrossThreads)
+{
+    TraceCache cache(256ull << 20);
+    constexpr unsigned kThreads = 8;
+    std::vector<std::shared_ptr<const TraceBuffer>> got(kThreads);
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, &got, t] {
+            got[t] = cache.acquire(WorkloadId::OltpDb2, 0xc0fe, 50'000);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    ASSERT_NE(got[0], nullptr);
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(got[t].get(), got[0].get())
+            << "same (workload, scale, seed) must share one buffer";
+    EXPECT_EQ(cache.misses(), 1u) << "the trace is generated exactly once";
+    EXPECT_EQ(cache.hits(), kThreads - 1);
+
+    // A repeated acquire at the same length returns the same pointer.
+    EXPECT_EQ(cache.acquire(WorkloadId::OltpDb2, 0xc0fe, 50'000).get(),
+              got[0].get());
+}
+
+TEST(TraceCache, DifferentSeedsDiffer)
+{
+    TraceCache cache(256ull << 20);
+    auto a = cache.acquire(WorkloadId::WebFrontend, 1, 20'000);
+    auto b = cache.acquire(WorkloadId::WebFrontend, 2, 20'000);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a.get(), b.get());
+
+    // The streams themselves must diverge (same program, different RNG).
+    bool diverged = false;
+    DynInst ia, ib;
+    for (std::uint64_t i = 0; i < a->size() && !diverged; ++i) {
+        a->read(i, ia);
+        b->read(i, ib);
+        diverged = ia.pc != ib.pc || ia.taken != ib.taken ||
+                   ia.target != ib.target;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(TraceCache, ZeroBudgetBypasses)
+{
+    TraceCache cache(0);
+    EXPECT_EQ(cache.acquire(WorkloadId::DssQry, 7, 10'000), nullptr);
+    EXPECT_EQ(cache.bypasses(), 1u);
+    EXPECT_EQ(cache.cachedBytes(), 0u);
+}
+
+TEST(TraceCache, BudgetEvictsIdleLru)
+{
+    // Budget fits roughly one rounded-up trace at a time.
+    TraceCache cache(TraceBuffer::arenaBytesFor(1 << 16) + 1024);
+    auto a = cache.acquire(WorkloadId::DssQry, 1, 10'000);
+    ASSERT_NE(a, nullptr);
+    a.reset();  // make it idle so it is evictable
+
+    auto b = cache.acquire(WorkloadId::DssQry, 2, 10'000);
+    ASSERT_NE(b, nullptr) << "idle LRU entry must be evicted to make room";
+
+    // While b is still referenced it cannot be evicted, so a third
+    // distinct trace is turned away rather than overcommitting.
+    EXPECT_EQ(cache.acquire(WorkloadId::DssQry, 3, 10'000), nullptr);
+    EXPECT_GE(cache.bypasses(), 1u);
+}
+
+TEST(TraceCache, FailedUpgradeKeepsShorterBuffer)
+{
+    // Budget fits one single-granule trace but not a two-granule one.
+    TraceCache cache(TraceBuffer::arenaBytesFor(1 << 16) + 1024);
+    auto small = cache.acquire(WorkloadId::DssQry, 1, 10'000);
+    ASSERT_NE(small, nullptr);
+
+    // Upgrading the same key beyond the budget must fail without
+    // destroying the still-servable shorter buffer.
+    EXPECT_EQ(cache.acquire(WorkloadId::DssQry, 1, 100'000), nullptr);
+    auto again = cache.acquire(WorkloadId::DssQry, 1, 10'000);
+    EXPECT_EQ(again.get(), small.get())
+        << "failed upgrade must not evict the shorter trace";
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity against the golden pins: the same quick-scale sweep that
+// tests/test_calibration.cc pins must produce identical numbers whether
+// every point replays a shared cached trace or generates live.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+SweepResult
+goldenQuickSweep()
+{
+    RunScale scale;
+    scale.timingWarmupInsts = 800'000;
+    scale.timingMeasureInsts = 400'000;
+    scale.timingCores = 1;
+    SweepEngine engine(2);
+    return runTimingSweep(
+        {FrontendKind::Baseline, FrontendKind::Confluence},
+        {WorkloadId::DssQry, WorkloadId::WebFrontend},
+        makeSystemConfig(1), scale, engine);
+}
+
+} // namespace
+
+TEST(TraceCacheGolden, CachedSweepIsBitIdenticalToLive)
+{
+    const std::uint64_t saved = traceCache().budgetBytes();
+
+    traceCache().setBudgetBytes(0);  // live generation for every point
+    const SweepResult live = goldenQuickSweep();
+
+    traceCache().setBudgetBytes(1ull << 30);  // shared replay
+    const SweepResult cached = goldenQuickSweep();
+
+    traceCache().setBudgetBytes(saved);
+
+    ASSERT_EQ(live.points.size(), cached.points.size());
+    for (std::size_t i = 0; i < live.points.size(); ++i) {
+        const CmpMetrics &a = live.points[i].metrics;
+        const CmpMetrics &b = cached.points[i].metrics;
+        ASSERT_EQ(a.cores.size(), b.cores.size());
+        for (std::size_t c = 0; c < a.cores.size(); ++c) {
+            EXPECT_EQ(a.cores[c].retired, b.cores[c].retired);
+            EXPECT_EQ(a.cores[c].cycles, b.cores[c].cycles);
+            EXPECT_EQ(a.cores[c].btbTakenMisses, b.cores[c].btbTakenMisses);
+            EXPECT_EQ(a.cores[c].l1iDemandMisses,
+                      b.cores[c].l1iDemandMisses);
+            EXPECT_EQ(a.cores[c].fetchMissStallCycles,
+                      b.cores[c].fetchMissStallCycles);
+        }
+    }
+
+    // And both must still sit exactly on the pre-cache golden geomean
+    // (tests/test_calibration.cc pins the same value).
+    EXPECT_NEAR(cached.geomeanSpeedup(FrontendKind::Confluence,
+                                      FrontendKind::Baseline),
+                1.217584361106137, 1e-9);
+}

@@ -173,10 +173,21 @@ int
 mergeResults(const std::vector<std::string> &inputs,
              const std::string &out_path)
 {
-    SweepResult merged;
-    std::set<std::pair<std::string, std::string>> seen;
+    // Read every shard first so the merged vector can be sized once.
+    std::vector<SweepResult> shards;
+    shards.reserve(inputs.size());
+    std::size_t total_points = 0;
     for (const std::string &path : inputs) {
-        SweepResult shard = sweepio::readResult(path);
+        shards.push_back(sweepio::readResult(path));
+        total_points += shards.back().points.size();
+    }
+
+    SweepResult merged;
+    merged.points.reserve(total_points);
+    std::set<std::pair<std::string, std::string>> seen;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const std::string &path = inputs[i];
+        SweepResult &shard = shards[i];
         for (const SweepOutcome &o : shard.points) {
             const auto key = std::make_pair(frontendKindSlug(o.point.kind),
                                             workloadSlug(o.point.workload));
