@@ -23,12 +23,17 @@
  * Usage:
  *   perf_harness [--smoke] [--iters N] [--out PATH]
  *                [--compare BASELINE [--min-ratio R]]
+ *                [--dispatch SWEEP_BIN [--dispatch-workers N]]
  *
  *   --smoke     small point grid and budgets (CI-sized)
  *   --iters     timing iterations per phase, best-of-N (default 3)
  *   --out       JSON output path (default BENCH_sweep.json)
  *   --compare   fail (exit 1) if cached points/sec drops below
  *               R x the baseline file's value (default R = 0.8)
+ *   --dispatch  third timed phase: the same sweep through the shard
+ *               dispatcher (src/dispatch) on a local subprocess pool
+ *               running SWEEP_BIN, verified bit-identical against the
+ *               in-process result — the multi-process overhead figure
  *
  * Results are checked bit-identical across the two phases before
  * anything is written: a harness that made the simulator faster but
@@ -47,8 +52,11 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "dispatch/backend.hh"
+#include "dispatch/dispatcher.hh"
 #include "sim/presets.hh"
 #include "sim/sweep.hh"
+#include "sweepio/codec.hh"
 
 // The harness is also built against the pre-trace-cache tree to record
 // before/after numbers; the cache hooks degrade to no-ops there.
@@ -130,6 +138,8 @@ struct HarnessConfig
     std::string outPath = "BENCH_sweep.json";
     std::string comparePath;
     double minRatio = 0.8;
+    std::string dispatchSweepBin; ///< "" = skip the dispatched phase
+    unsigned dispatchWorkers = 3;
 };
 
 std::vector<SweepPoint>
@@ -283,6 +293,38 @@ harnessMain(const HarnessConfig &cfg)
                  cached.seconds, cached.pointsPerSec, cached.minstsPerSec,
                  warm_seconds, allocs_per_kinst);
 
+    // Phase 3 (opt-in): the same sweep through the shard dispatcher on
+    // a local subprocess pool — the fleet path. Untimed correctness
+    // first: the merged result must be byte-identical to in-process.
+    PhaseResult dispatched;
+    bool have_dispatched = false;
+    if (!cfg.dispatchSweepBin.empty()) {
+        const SweepResult reference =
+            runTimingSweep(points, config, engine);
+        dispatch::LocalBackend backend(cfg.dispatchWorkers);
+        dispatch::DispatchOptions opts;
+        opts.sweepBin = cfg.dispatchSweepBin;
+        opts.workDir = cfg.outPath + ".dispatch";
+
+        const auto start = Clock::now();
+        const SweepResult merged = dispatch::runDispatchedSweep(
+            points, backend, opts, nullptr, nullptr);
+        const std::chrono::duration<double> elapsed =
+            Clock::now() - start;
+
+        cfl_assert(sweepio::encodeResult(merged) ==
+                       sweepio::encodeResult(reference),
+                   "dispatched sweep diverged from in-process sweep");
+        dispatched.seconds = elapsed.count();
+        dispatched.pointsPerSec = points.size() / dispatched.seconds;
+        dispatched.minstsPerSec = total_minsts / dispatched.seconds;
+        have_dispatched = true;
+        std::fprintf(stderr, "  dispatch: %6.2fs  %6.2f points/s  "
+                     "%7.2f Minsts/s  (%u subprocess workers)\n",
+                     dispatched.seconds, dispatched.pointsPerSec,
+                     dispatched.minstsPerSec, cfg.dispatchWorkers);
+    }
+
     std::uint64_t cache_hits = 0, cache_misses = 0, cache_bypasses = 0;
 #if CFL_HAS_TRACE_CACHE
     cache_hits = traceCache().hits();
@@ -307,7 +349,13 @@ harnessMain(const HarnessConfig &cfg)
          << ", \"points_per_sec\": " << cached.pointsPerSec
          << ", \"minsts_per_sec\": " << cached.minstsPerSec << "},\n"
          << "  \"cache_speedup\": "
-         << cached.pointsPerSec / live.pointsPerSec << ",\n"
+         << cached.pointsPerSec / live.pointsPerSec << ",\n";
+    if (have_dispatched)
+        json << "  \"dispatched\": {\"seconds\": " << dispatched.seconds
+             << ", \"points_per_sec\": " << dispatched.pointsPerSec
+             << ", \"minsts_per_sec\": " << dispatched.minstsPerSec
+             << ", \"workers\": " << cfg.dispatchWorkers << "},\n";
+    json
          << "  \"warm_seconds\": " << warm_seconds << ",\n"
          << "  \"allocs_per_kinst\": " << allocs_per_kinst << ",\n"
          << "  \"trace_cache\": {\"hits\": " << cache_hits
@@ -382,6 +430,11 @@ main(int argc, char **argv)
             cfg.comparePath = value();
         else if (arg == "--min-ratio")
             cfg.minRatio = std::stod(value());
+        else if (arg == "--dispatch")
+            cfg.dispatchSweepBin = value();
+        else if (arg == "--dispatch-workers")
+            cfg.dispatchWorkers =
+                static_cast<unsigned>(std::stoul(value()));
         else
             cfl_fatal("unknown flag \"%s\"", arg.c_str());
     }

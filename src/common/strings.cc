@@ -1,0 +1,27 @@
+#include "common/strings.hh"
+
+#include "common/logging.hh"
+
+namespace cfl
+{
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> items;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end == start)
+            cfl_fatal("empty item in list \"%s\"", list.c_str());
+        items.push_back(list.substr(start, end - start));
+        start = end + 1;
+        if (comma == std::string::npos)
+            break;
+    }
+    return items;
+}
+
+} // namespace cfl

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Small string helpers shared by the CLI tools.
+ */
+
+#ifndef CFL_COMMON_STRINGS_HH
+#define CFL_COMMON_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace cfl
+{
+
+/** Split "a,b,c" at commas; fatal() on an empty item (",,", trailing
+ *  comma, or an empty list). */
+std::vector<std::string> splitList(const std::string &list);
+
+} // namespace cfl
+
+#endif // CFL_COMMON_STRINGS_HH

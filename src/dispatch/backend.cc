@@ -1,0 +1,125 @@
+#include "dispatch/backend.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace cfl::dispatch
+{
+
+std::string
+shellQuote(const std::string &text)
+{
+    std::string out = "'";
+    for (const char c : text) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+std::string
+sshWrapCommand(const std::string &host, const std::string &remote_dir,
+               const std::string &command, unsigned timeout_sec)
+{
+    std::string remote;
+    if (!remote_dir.empty())
+        remote = "cd " + shellQuote(remote_dir) + " && ";
+    if (timeout_sec != 0)
+        remote += "timeout " + std::to_string(timeout_sec) + " ";
+    remote += command;
+    return "ssh -o BatchMode=yes " + shellQuote(host) + " " +
+           shellQuote(remote);
+}
+
+RunStatus
+runLocalCommand(const std::string &command, unsigned timeout_sec)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        cfl_fatal("fork failed: %s", std::strerror(errno));
+    if (pid == 0) {
+        ::execl("/bin/sh", "sh", "-c", command.c_str(),
+                static_cast<char *>(nullptr));
+        // exec failed; 127 is the shell's own "command not found".
+        ::_exit(127);
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::seconds(timeout_sec);
+
+    int status = 0;
+    while (true) {
+        const pid_t r =
+            ::waitpid(pid, &status, timeout_sec == 0 ? 0 : WNOHANG);
+        if (r == pid)
+            break;
+        if (r < 0)
+            cfl_fatal("waitpid failed: %s", std::strerror(errno));
+        if (timeout_sec != 0 && Clock::now() >= deadline) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            RunStatus out;
+            out.exitCode = 128 + SIGKILL;
+            out.timedOut = true;
+            return out;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    RunStatus out;
+    if (WIFEXITED(status))
+        out.exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        out.exitCode = 128 + WTERMSIG(status);
+    else
+        out.exitCode = -1;
+    return out;
+}
+
+LocalBackend::LocalBackend(unsigned workers) : workers_(workers)
+{
+    cfl_assert(workers >= 1, "a backend needs at least one worker");
+}
+
+RunStatus
+LocalBackend::run(unsigned worker, const std::string &command,
+                  unsigned timeout_sec)
+{
+    cfl_assert(worker < workers_, "worker %u out of range", worker);
+    return runLocalCommand(command, timeout_sec);
+}
+
+SshBackend::SshBackend(std::vector<std::string> hosts,
+                       std::string remote_dir)
+    : hosts_(std::move(hosts)), remoteDir_(std::move(remote_dir))
+{
+    cfl_assert(!hosts_.empty(), "a backend needs at least one worker");
+}
+
+RunStatus
+SshBackend::run(unsigned worker, const std::string &command,
+                unsigned timeout_sec)
+{
+    cfl_assert(worker < workers(), "worker %u out of range", worker);
+    // The remote `timeout` wrapper is authoritative (it kills the
+    // sweep where it runs); the local watchdog gets a grace period on
+    // top and only fires when the connection itself is dead.
+    return runLocalCommand(
+        sshWrapCommand(hosts_[worker], remoteDir_, command, timeout_sec),
+        timeout_sec == 0 ? 0 : timeout_sec + 10);
+}
+
+} // namespace cfl::dispatch

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Pluggable worker backends for the shard dispatcher.
+ *
+ * A backend models a fixed pool of workers, each able to run one shell
+ * command at a time. The dispatcher (dispatcher.hh) owns scheduling,
+ * retry, and worker exclusion; a backend only has to answer "run this
+ * command as worker w and tell me how it exited". Two implementations
+ * ship:
+ *
+ *   LocalBackend — every worker is a subprocess slot on this machine
+ *                  (/bin/sh -c), so a 3-worker local dispatch is three
+ *                  concurrent OS processes;
+ *   SshBackend   — worker w is a remote host reached through a
+ *                  non-interactive ssh command; the command runs in a
+ *                  configurable remote directory. Only the spec/result
+ *                  files need to travel (a shared filesystem or a prior
+ *                  rsync of the binary is assumed, as is key-based
+ *                  auth: BatchMode never prompts).
+ *
+ * Both execute through the same local process-spawn helper; SshBackend
+ * merely wraps the command line, so timeout and exit-status semantics
+ * are identical across backends.
+ */
+
+#ifndef CFL_DISPATCH_BACKEND_HH
+#define CFL_DISPATCH_BACKEND_HH
+
+#include <string>
+#include <vector>
+
+namespace cfl::dispatch
+{
+
+/** How one command invocation ended. */
+struct RunStatus
+{
+    int exitCode = 0;      ///< exit status; 128+sig for a signal death
+    bool timedOut = false; ///< killed by the per-shard timeout
+
+    bool ok() const { return !timedOut && exitCode == 0; }
+};
+
+/** A fixed pool of workers that run shell commands. */
+class WorkerBackend
+{
+  public:
+    virtual ~WorkerBackend() = default;
+
+    /** Number of workers; worker ids are 0 .. workers()-1. */
+    virtual unsigned workers() const = 0;
+
+    /**
+     * Run @p command as worker @p worker and block until it exits or
+     * @p timeout_sec elapses (0 = no timeout). Thread-safe: the
+     * dispatcher calls this concurrently from one thread per worker.
+     */
+    virtual RunStatus run(unsigned worker, const std::string &command,
+                          unsigned timeout_sec) = 0;
+};
+
+/** @p text wrapped in single quotes, safe for /bin/sh. */
+std::string shellQuote(const std::string &text);
+
+/**
+ * The ssh invocation SshBackend uses for one command: BatchMode (never
+ * prompt), optional cd into @p remote_dir, the command itself quoted
+ * once for the remote shell. A non-zero @p timeout_sec additionally
+ * wraps the remote command in coreutils `timeout`, because the local
+ * SIGKILL a timeout fires only kills the ssh client — without the
+ * remote wrapper the sweep would keep running as an orphan and could
+ * race the retry's writes on a shared filesystem. (An orphan window
+ * remains if the ssh *connection* dies; keep shard result files on
+ * per-attempt scratch space if that matters.) Exposed so tests can pin
+ * the quoting.
+ */
+std::string sshWrapCommand(const std::string &host,
+                           const std::string &remote_dir,
+                           const std::string &command,
+                           unsigned timeout_sec = 0);
+
+/**
+ * Run @p command under /bin/sh -c, enforcing @p timeout_sec (0 = no
+ * timeout) by SIGKILL. The shared engine under both backends.
+ */
+RunStatus runLocalCommand(const std::string &command, unsigned timeout_sec);
+
+/** Subprocess slots on the local machine. */
+class LocalBackend : public WorkerBackend
+{
+  public:
+    /** @p workers concurrent subprocess slots (>= 1). */
+    explicit LocalBackend(unsigned workers);
+
+    unsigned workers() const override { return workers_; }
+    RunStatus run(unsigned worker, const std::string &command,
+                  unsigned timeout_sec) override;
+
+  private:
+    unsigned workers_;
+};
+
+/** One remote host per worker, reached through ssh. */
+class SshBackend : public WorkerBackend
+{
+  public:
+    /**
+     * @p hosts one ssh destination (user@host) per worker;
+     * @p remote_dir directory to cd into before the command ("" = the
+     * remote login directory).
+     */
+    SshBackend(std::vector<std::string> hosts, std::string remote_dir);
+
+    unsigned workers() const override
+    {
+        return static_cast<unsigned>(hosts_.size());
+    }
+    RunStatus run(unsigned worker, const std::string &command,
+                  unsigned timeout_sec) override;
+
+    const std::vector<std::string> &hosts() const { return hosts_; }
+
+  private:
+    std::vector<std::string> hosts_;
+    std::string remoteDir_;
+};
+
+} // namespace cfl::dispatch
+
+#endif // CFL_DISPATCH_BACKEND_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fault-tolerant shard dispatcher.
+ *
+ * Two layers. dispatchShards() is the scheduling core: it drives a set
+ * of shard jobs through a WorkerBackend with one scheduling thread per
+ * worker, a per-shard timeout, and bounded retry with worker exclusion
+ * — a shard that fails on worker w is retried on a worker that has not
+ * yet failed it (falling back to any worker once every worker has), so
+ * a single bad host cannot wedge a sweep. Exit codes listed in
+ * RetryPolicy::noRetryExits (confluence_sweep uses 3 for a corrupt /
+ * duplicate-point shard) fail immediately instead of burning retries:
+ * a deterministic rejection will not pass on a different machine.
+ *
+ * runDispatchedSweep() is the sweep driver built on top: it consults a
+ * content-addressed ResultCache (result_cache.hh) so only cache-miss
+ * points are evaluated at all, partitions the misses into contiguous
+ * shard specs (sweepio/shard.hh), runs one `confluence_sweep --points`
+ * process per shard through the backend, and reassembles outcomes in
+ * original submission order. Because per-point seeds are pure functions
+ * of the point coordinates and the codec is integer-only, the merged
+ * result is byte-identical to the single-process run — cached, sharded,
+ * retried, or not (CI asserts this on every push).
+ *
+ * Fault injection for tests/CI: DispatchOptions::fault = "shard:K"
+ * prefixes shard K's *first* attempt with CONFLUENCE_SWEEP_FAULT=abort,
+ * which makes confluence_sweep die without writing its result; the
+ * retry then proceeds clean. The CONFLUENCE_DISPATCH_FAULT environment
+ * variable feeds this through tools/confluence_dispatch.
+ */
+
+#ifndef CFL_DISPATCH_DISPATCHER_HH
+#define CFL_DISPATCH_DISPATCHER_HH
+
+#include <string>
+#include <vector>
+
+#include "dispatch/backend.hh"
+#include "sim/sweep.hh"
+
+namespace cfl::dispatch
+{
+
+class ResultCache;
+
+/** One schedulable unit: a shell command producing one shard result. */
+struct ShardJob
+{
+    unsigned shard = 0;       ///< shard index, for reporting/faults
+    std::string command;      ///< the command every attempt runs
+    /** Override for attempt 0 only ("" = use command). The fault-
+     *  injection hook: a poisoned first attempt, clean retries. */
+    std::string firstAttemptCommand;
+};
+
+/** Retry behaviour of dispatchShards(). */
+struct RetryPolicy
+{
+    unsigned maxAttempts = 3; ///< total attempts per shard (>= 1)
+    unsigned timeoutSec = 0;  ///< per-attempt wall limit (0 = none)
+    /** Exit codes that mark the shard's input corrupt rather than the
+     *  infrastructure flaky; such failures are never retried. */
+    std::vector<int> noRetryExits = {3};
+};
+
+/** What happened to one shard across all its attempts. */
+struct ShardRun
+{
+    unsigned shard = 0;
+    bool ok = false;
+    unsigned attempts = 0;
+    std::vector<unsigned> workers; ///< worker id of each attempt
+    int lastExit = 0;
+    bool timedOut = false;         ///< last attempt hit the timeout
+};
+
+/**
+ * Run every job to completion or exhaustion. Returns one ShardRun per
+ * job, in job order; the caller decides whether a !ok run is fatal.
+ */
+std::vector<ShardRun> dispatchShards(WorkerBackend &backend,
+                                     const std::vector<ShardJob> &jobs,
+                                     const RetryPolicy &policy);
+
+/** Knobs of a dispatched sweep. */
+struct DispatchOptions
+{
+    std::string sweepBin;     ///< path to the confluence_sweep binary
+    std::string workDir;      ///< shard spec/result files live here
+    unsigned shards = 0;      ///< shard count (0 = one per worker)
+    RetryPolicy retry;
+    std::string fault;        ///< "shard:K" first-attempt fault, or ""
+};
+
+/** Bookkeeping a dispatched sweep reports back. */
+struct DispatchStats
+{
+    std::size_t totalPoints = 0;
+    std::size_t cachedPoints = 0;    ///< served from the result cache
+    std::size_t evaluatedPoints = 0; ///< computed by shard processes
+    unsigned shards = 0;
+    unsigned retries = 0;            ///< attempts beyond the first
+    std::vector<ShardRun> shardRuns;
+};
+
+/**
+ * Evaluate @p points through @p backend, serving cache hits from
+ * @p cache (may be nullptr: cache disabled) and storing fresh outcomes
+ * back into it. The returned result lists outcomes in the submission
+ * order of @p points and is byte-identical (sweepio::encodeResult) to
+ * runTimingSweep over the same points. fatal()s if any shard exhausts
+ * its attempts.
+ */
+SweepResult runDispatchedSweep(const std::vector<SweepPoint> &points,
+                               WorkerBackend &backend,
+                               const DispatchOptions &opts,
+                               ResultCache *cache, DispatchStats *stats);
+
+} // namespace cfl::dispatch
+
+#endif // CFL_DISPATCH_DISPATCHER_HH

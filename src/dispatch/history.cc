@@ -1,0 +1,216 @@
+#include "dispatch/history.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/logging.hh"
+#include "sweepio/json.hh"
+
+namespace cfl::dispatch
+{
+
+namespace
+{
+
+using Scanner = sweepio::MiniJsonParser;
+
+/**
+ * The strings a history line embeds (tags, kind slugs) must stay
+ * parseable by the escape-free scanner: one bad character would wedge
+ * every future load of the store, so reject it at write time.
+ */
+void
+checkStoreString(const char *what, const std::string &value)
+{
+    for (const char c : value)
+        if (c == '"' || c == '\\' ||
+            static_cast<unsigned char>(c) < 0x20)
+            cfl_fatal("history %s \"%s\" contains '%c' (0x%02x), which "
+                      "the escape-free store cannot hold",
+                      what, value.c_str(), c,
+                      static_cast<unsigned char>(c));
+}
+
+std::string
+encodeEntry(const HistoryEntry &entry)
+{
+    std::string line = "{\"tag\":\"";
+    line += entry.tag;
+    line += "\",\"entries\":[";
+    bool first = true;
+    for (const auto &[kind, geomean] : entry.geomeans) {
+        if (!first)
+            line += ",";
+        first = false;
+        char human[32];
+        std::snprintf(human, sizeof(human), "%.17g", geomean);
+        line += "{\"kind\":\"";
+        line += kind;
+        line += "\",\"geomean_bits\":";
+        line += std::to_string(std::bit_cast<std::uint64_t>(geomean));
+        line += ",\"geomean\":\"";
+        line += human;
+        line += "\"}";
+    }
+    line += "]}";
+    return line;
+}
+
+HistoryEntry
+decodeEntry(const std::string &line, bool throw_on_error = false)
+{
+    Scanner s(line, "history line", throw_on_error);
+    HistoryEntry entry;
+    s.expect('{');
+    s.namedKey("tag");
+    entry.tag = s.string();
+    s.expect(',');
+    s.namedKey("entries");
+    s.expect('[');
+    if (!s.accept(']')) {
+        do {
+            s.expect('{');
+            s.namedKey("kind");
+            const std::string kind = s.string();
+            s.expect(',');
+            s.namedKey("geomean_bits");
+            const std::uint64_t bits = s.number();
+            s.expect(',');
+            s.namedKey("geomean");
+            (void)s.string(); // human-readable rendering; bits win
+            s.expect('}');
+            entry.geomeans.emplace_back(kind,
+                                        std::bit_cast<double>(bits));
+        } while (s.accept(','));
+        s.expect(']');
+    }
+    s.expect('}');
+    s.end();
+    return entry;
+}
+
+} // namespace
+
+RegressionHistory::RegressionHistory(std::string path)
+    : path_(std::move(path))
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // no history yet
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        // A torn line (a process killed mid-append) loses that one
+        // entry, not the whole history.
+        try {
+            entries_.push_back(decodeEntry(line, true));
+        } catch (const std::runtime_error &e) {
+            cfl_warn("skipping unparseable line %zu of history \"%s\": "
+                     "%s", lineno, path_.c_str(), e.what());
+        }
+    }
+}
+
+HistoryEntry
+RegressionHistory::summarize(const SweepResult &result,
+                             const std::string &tag)
+{
+    bool have_baseline = false;
+    std::vector<FrontendKind> kinds;
+    for (const SweepOutcome &o : result.points) {
+        if (o.point.kind == FrontendKind::Baseline)
+            have_baseline = true;
+        else if (std::find(kinds.begin(), kinds.end(), o.point.kind) ==
+                 kinds.end())
+            kinds.push_back(o.point.kind);
+    }
+    if (!have_baseline)
+        cfl_fatal("history needs Baseline points to normalize against");
+    if (kinds.empty())
+        cfl_fatal("history needs at least one non-Baseline front end");
+
+    HistoryEntry entry;
+    entry.tag = tag;
+    for (const FrontendKind kind : kinds)
+        entry.geomeans.emplace_back(
+            frontendKindSlug(kind),
+            result.geomeanSpeedup(kind, FrontendKind::Baseline));
+    return entry;
+}
+
+void
+RegressionHistory::append(const HistoryEntry &entry)
+{
+    checkStoreString("tag", entry.tag);
+    for (const auto &[kind, geomean] : entry.geomeans)
+        checkStoreString("kind", kind);
+
+    const std::filesystem::path parent =
+        std::filesystem::path(path_).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        if (ec)
+            cfl_fatal("cannot create history directory \"%s\": %s",
+                      parent.c_str(), ec.message().c_str());
+    }
+    std::ofstream out(path_, std::ios::app);
+    if (!out)
+        cfl_fatal("cannot open history \"%s\" for appending",
+                  path_.c_str());
+    out << encodeEntry(entry) << '\n';
+    if (!out.flush())
+        cfl_fatal("failed writing history \"%s\"", path_.c_str());
+    entries_.push_back(entry);
+}
+
+namespace
+{
+
+std::vector<RegressionDelta>
+compareEntries(const HistoryEntry &prev, const HistoryEntry &cur)
+{
+    std::vector<RegressionDelta> out;
+    for (const auto &[kind, geomean] : cur.geomeans) {
+        for (const auto &[prev_kind, prev_geomean] : prev.geomeans) {
+            if (prev_kind != kind)
+                continue;
+            RegressionDelta d;
+            d.kind = kind;
+            d.previous = prev_geomean;
+            d.current = geomean;
+            d.delta = geomean / prev_geomean - 1.0;
+            out.push_back(d);
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<RegressionDelta>
+RegressionHistory::compare(const HistoryEntry &candidate) const
+{
+    if (entries_.empty())
+        return {};
+    return compareEntries(entries_.back(), candidate);
+}
+
+std::vector<RegressionDelta>
+RegressionHistory::deltas() const
+{
+    if (entries_.size() < 2)
+        return {};
+    return compareEntries(entries_[entries_.size() - 2],
+                          entries_.back());
+}
+
+} // namespace cfl::dispatch

@@ -1,0 +1,124 @@
+#include "dispatch/result_cache.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "sweepio/codec.hh"
+#include "sweepio/digest.hh"
+
+namespace cfl::dispatch
+{
+
+namespace
+{
+
+/**
+ * Baked-in code-version tag. Bump whenever a change alters any sweep
+ * metric (golden calibration values move with it); CI overrides with
+ * the commit SHA via CONFLUENCE_CODE_VERSION, which keys conservatively
+ * on every commit instead.
+ */
+constexpr const char *kBuiltinCodeVersion = "confluence-metrics-v1";
+
+} // namespace
+
+ResultCache::ResultCache(std::string store_path, std::string code_version)
+    : path_(std::move(store_path)), codeVersion_(std::move(code_version))
+{
+    std::ifstream in(path_);
+    if (!in)
+        return; // empty cache: first run or a fresh machine
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        sweepio::CacheEntry entry;
+        // A torn line (a process killed mid-append) must degrade to a
+        // cache miss, not wedge every future load of the store.
+        if (!sweepio::tryDecodeCacheEntry(line, &entry)) {
+            cfl_warn("skipping unparseable line %zu of cache store "
+                     "\"%s\" (torn append?)", lineno, path_.c_str());
+            continue;
+        }
+        // Last line wins, so appended re-evaluations supersede.
+        entries_[entry.key] = std::move(entry.outcome);
+    }
+}
+
+std::string
+ResultCache::defaultStorePath()
+{
+    const char *dir = std::getenv("CONFLUENCE_CACHE_DIR");
+    const std::string base =
+        (dir != nullptr && *dir != '\0') ? dir : ".confluence-cache";
+    return base + "/results.jsonl";
+}
+
+std::string
+ResultCache::defaultCodeVersion()
+{
+    const char *tag = std::getenv("CONFLUENCE_CODE_VERSION");
+    return (tag != nullptr && *tag != '\0') ? tag : kBuiltinCodeVersion;
+}
+
+std::string
+ResultCache::key(const SweepPoint &point, std::uint64_t seed_base) const
+{
+    return sweepio::pointDigest(point, seed_base, codeVersion_);
+}
+
+const SweepOutcome *
+ResultCache::lookup(const SweepPoint &point, std::uint64_t seed_base)
+{
+    const auto it = entries_.find(key(point, seed_base));
+    if (it == entries_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    return &it->second;
+}
+
+void
+ResultCache::insert(const SweepOutcome &outcome)
+{
+    const std::string k = key(outcome.point, outcome.seed);
+    const auto it = entries_.find(k);
+    if (it != entries_.end() &&
+        sweepio::encodeOutcome(it->second) ==
+            sweepio::encodeOutcome(outcome))
+        return; // already stored byte-identically; don't grow the file
+    entries_[k] = outcome;
+    pending_.push_back(sweepio::encodeCacheEntry({k, outcome}));
+}
+
+void
+ResultCache::flush()
+{
+    if (pending_.empty())
+        return;
+    const std::filesystem::path parent =
+        std::filesystem::path(path_).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        if (ec)
+            cfl_fatal("cannot create cache directory \"%s\": %s",
+                      parent.c_str(), ec.message().c_str());
+    }
+    std::ofstream out(path_, std::ios::app);
+    if (!out)
+        cfl_fatal("cannot open cache store \"%s\" for appending",
+                  path_.c_str());
+    for (const std::string &line : pending_)
+        out << line << '\n';
+    if (!out.flush())
+        cfl_fatal("failed writing cache store \"%s\"", path_.c_str());
+    pending_.clear();
+}
+
+} // namespace cfl::dispatch

@@ -1,12 +1,12 @@
 #include "sweepio/codec.hh"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/logging.hh"
+#include "sweepio/json.hh"
 
 namespace cfl::sweepio
 {
@@ -58,117 +58,16 @@ appendCore(std::ostringstream &out, const CoreMetrics &core)
 }
 
 // ---------------------------------------------------------------------------
-// Decoding: a recursive-descent parser for the subset of JSON the codec
-// emits (objects, arrays, strings without escapes, unsigned integers).
+// Decoding, via the shared line-store parser (sweepio/json.hh).
 // ---------------------------------------------------------------------------
 
-class Parser
+class Parser : public MiniJsonParser
 {
   public:
-    explicit Parser(const std::string &text) : text_(text) {}
-
-    void expect(char c)
+    explicit Parser(const std::string &text, bool throw_on_error = false)
+        : MiniJsonParser(text, "sweep JSON", throw_on_error)
     {
-        skipSpace();
-        if (pos_ >= text_.size() || text_[pos_] != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos_;
     }
-
-    /** True (and consumes) if the next non-space char is @p c. */
-    bool accept(char c)
-    {
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    std::string string()
-    {
-        expect('"');
-        const std::size_t start = pos_;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            if (text_[pos_] == '\\')
-                fail("escape sequences are not supported");
-            ++pos_;
-        }
-        if (pos_ >= text_.size())
-            fail("unterminated string");
-        return text_.substr(start, pos_++ - start);
-    }
-
-    std::uint64_t number()
-    {
-        skipSpace();
-        const std::size_t start = pos_;
-        while (pos_ < text_.size() &&
-               std::isdigit(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-        if (pos_ == start)
-            fail("expected an unsigned integer");
-        const std::string digits = text_.substr(start, pos_ - start);
-        try {
-            return std::stoull(digits);
-        } catch (const std::out_of_range &) {
-            fail("integer \"" + digits + "\" does not fit in 64 bits");
-        }
-    }
-
-    /** Key of the next "key": pair. */
-    std::string key()
-    {
-        std::string k = string();
-        expect(':');
-        return k;
-    }
-
-    /** "key" with the expected name, then ':'. */
-    void namedKey(const char *name)
-    {
-        const std::string k = key();
-        if (k != name)
-            fail("expected key \"" + std::string(name) + "\", got \"" +
-                 k + "\"");
-    }
-
-    std::uint64_t namedNumber(const char *name)
-    {
-        namedKey(name);
-        return number();
-    }
-
-    std::string namedString(const char *name)
-    {
-        namedKey(name);
-        return string();
-    }
-
-    void end()
-    {
-        skipSpace();
-        if (pos_ != text_.size())
-            fail("trailing characters");
-    }
-
-  private:
-    void skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    [[noreturn]] void fail(const std::string &msg)
-    {
-        cfl_fatal("malformed sweep JSON at offset %zu: %s", pos_,
-                  msg.c_str());
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
 };
 
 RunScale
@@ -190,14 +89,39 @@ parseScale(Parser &p)
     return scale;
 }
 
+// Slug resolution routed through the parser's error channel rather
+// than the fatal()ing factory converters: a tolerant loader (e.g. the
+// result cache reading a store shared with a newer binary that knows
+// more kinds) must be able to skip such an entry, not die on it.
+
+FrontendKind
+parseKindSlug(Parser &p)
+{
+    const std::string slug = p.namedString("kind");
+    for (const FrontendKind kind : allFrontendKinds())
+        if (frontendKindSlug(kind) == slug)
+            return kind;
+    p.error("unknown front-end kind \"" + slug + "\"");
+}
+
+WorkloadId
+parseWorkloadSlug(Parser &p)
+{
+    const std::string slug = p.namedString("workload");
+    for (const WorkloadId wl : allWorkloads())
+        if (workloadSlug(wl) == slug)
+            return wl;
+    p.error("unknown workload \"" + slug + "\"");
+}
+
 SweepPoint
 parsePoint(Parser &p)
 {
     SweepPoint point;
     p.expect('{');
-    point.kind = frontendKindFromSlug(p.namedString("kind"));
+    point.kind = parseKindSlug(p);
     p.expect(',');
-    point.workload = workloadFromSlug(p.namedString("workload"));
+    point.workload = parseWorkloadSlug(p);
     p.expect(',');
     p.namedKey("scale");
     point.scale = parseScale(p);
@@ -401,6 +325,55 @@ SweepResult
 readResult(const std::string &path)
 {
     return decodeResult(slurp(path));
+}
+
+std::string
+encodeCacheEntry(const CacheEntry &entry)
+{
+    std::string line = "{\"key\":\"";
+    line += entry.key;
+    line += "\",\"outcome\":";
+    line += encodeOutcome(entry.outcome);
+    line += "}";
+    return line;
+}
+
+namespace
+{
+
+CacheEntry
+parseCacheEntry(Parser &p)
+{
+    CacheEntry entry;
+    p.expect('{');
+    entry.key = p.namedString("key");
+    p.expect(',');
+    p.namedKey("outcome");
+    entry.outcome = parseOutcome(p);
+    p.expect('}');
+    p.end();
+    return entry;
+}
+
+} // namespace
+
+CacheEntry
+decodeCacheEntry(const std::string &line)
+{
+    Parser p(line);
+    return parseCacheEntry(p);
+}
+
+bool
+tryDecodeCacheEntry(const std::string &line, CacheEntry *out)
+{
+    Parser p(line, /*throw_on_error=*/true);
+    try {
+        *out = parseCacheEntry(p);
+        return true;
+    } catch (const std::runtime_error &) {
+        return false;
+    }
 }
 
 } // namespace cfl::sweepio

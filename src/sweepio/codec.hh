@@ -57,6 +57,27 @@ void writeResult(const std::string &path, const SweepResult &result);
 /** Read a result file; fatal() if the file cannot be opened. */
 SweepResult readResult(const std::string &path);
 
+/**
+ * One line of the content-addressed result store used by
+ * dispatch/result_cache: a digest key (sweepio/digest.hh) plus the
+ * outcome it addresses.
+ */
+struct CacheEntry
+{
+    std::string key;       ///< 16 lowercase hex digits (pointDigest)
+    SweepOutcome outcome;
+};
+
+/** One store line ({"key":"<hex>","outcome":{...}}). */
+std::string encodeCacheEntry(const CacheEntry &entry);
+
+/** Parse one store line; fatal() on malformed input. */
+CacheEntry decodeCacheEntry(const std::string &line);
+
+/** decodeCacheEntry that reports malformed input (false) instead of
+ *  fatal()ing — for loaders skipping a torn trailing line. */
+bool tryDecodeCacheEntry(const std::string &line, CacheEntry *out);
+
 } // namespace cfl::sweepio
 
 #endif // CFL_SWEEPIO_CODEC_HH

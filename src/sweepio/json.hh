@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Recursive-descent parser for the subset of JSON the sweepio/dispatch
+ * stores emit: objects, arrays, escape-free strings, and unsigned
+ * integers. One implementation serves every line-oriented store —
+ * sweep specs/results (sweepio/codec.cc) and the regression history
+ * (dispatch/history.cc) — so a parsing fix propagates to all of them.
+ * Malformed input is fatal(): these files are machine-written, so any
+ * syntax error means corruption, not user error worth recovering from.
+ */
+
+#ifndef CFL_SWEEPIO_JSON_HH
+#define CFL_SWEEPIO_JSON_HH
+
+#include <cctype>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace cfl::sweepio
+{
+
+class MiniJsonParser
+{
+  public:
+    /**
+     * Parse @p text; @p context names the store in error messages
+     * ("malformed <context> at offset ..."). With @p throw_on_error,
+     * malformed input throws std::runtime_error instead of fatal()ing
+     * — for loaders that tolerate a torn trailing line (a process
+     * killed mid-append) rather than wedging on it forever.
+     */
+    MiniJsonParser(const std::string &text, const char *context,
+                   bool throw_on_error = false)
+        : text_(text), context_(context), throwOnError_(throw_on_error)
+    {
+    }
+
+    void expect(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    /** True (and consumes) if the next non-space char is @p c. */
+    bool accept(char c)
+    {
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string string()
+    {
+        expect('"');
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                fail("escape sequences are not supported");
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        return text_.substr(start, pos_++ - start);
+    }
+
+    std::uint64_t number()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected an unsigned integer");
+        const std::string digits = text_.substr(start, pos_ - start);
+        try {
+            return std::stoull(digits);
+        } catch (const std::out_of_range &) {
+            fail("integer \"" + digits + "\" does not fit in 64 bits");
+        }
+    }
+
+    /** Key of the next "key": pair. */
+    std::string key()
+    {
+        std::string k = string();
+        expect(':');
+        return k;
+    }
+
+    /** "key" with the expected name, then ':'. */
+    void namedKey(const char *name)
+    {
+        const std::string k = key();
+        if (k != name)
+            fail("expected key \"" + std::string(name) + "\", got \"" +
+                 k + "\"");
+    }
+
+    std::uint64_t namedNumber(const char *name)
+    {
+        namedKey(name);
+        return number();
+    }
+
+    std::string namedString(const char *name)
+    {
+        namedKey(name);
+        return string();
+    }
+
+    void end()
+    {
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+    }
+
+    /** Report a semantic error (e.g. an unknown enum slug) through the
+     *  same fatal-or-throw channel as syntax errors, so tolerant
+     *  loaders can skip entries written by a different code version. */
+    [[noreturn]] void error(const std::string &msg) { fail(msg); }
+
+  private:
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    [[noreturn]] void fail(const std::string &msg)
+    {
+        const std::string full = cfl::detail::formatString(
+            "malformed %s at offset %zu: %s", context_, pos_,
+            msg.c_str());
+        if (throwOnError_)
+            throw std::runtime_error(full);
+        cfl_fatal("%s", full.c_str());
+    }
+
+    const std::string &text_;
+    const char *context_;
+    bool throwOnError_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace cfl::sweepio
+
+#endif // CFL_SWEEPIO_JSON_HH

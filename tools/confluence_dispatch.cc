@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Fault-tolerant sweep dispatcher CLI.
+ *
+ * Takes a sweep spec (the same JSONL confluence_sweep emits), partitions
+ * it into shards, and drives one `confluence_sweep --points` process per
+ * shard through a worker backend — a local subprocess pool, or a fleet
+ * of ssh hosts — with per-shard timeout, bounded retry, and worker
+ * exclusion. Completed outcomes land in a content-addressed result
+ * cache keyed on (point, seed base, code version), so re-dispatching a
+ * sweep only evaluates points whose key changed; the merged output is
+ * byte-identical to the single-process `confluence_sweep --points` run
+ * either way.
+ *
+ * Modes (one per invocation):
+ *
+ *   confluence_dispatch --points spec.jsonl --out merged.jsonl
+ *       [--backend local|ssh] [--workers N] [--hosts h1,h2,..]
+ *       [--remote-dir DIR] [--shards M] [--timeout SEC] [--retries K]
+ *       [--sweep-bin PATH] [--cache FILE | --no-cache]
+ *       [--code-version TAG] [--work-dir DIR]
+ *     Dispatch the spec and write the merged result. Prints one
+ *     machine-readable stats line to stdout:
+ *       dispatch total_points=.. cache_hits=.. cache_misses=..
+ *                evaluated_points=.. shards=.. retries=..
+ *
+ *   confluence_dispatch --history history.jsonl --result merged.jsonl
+ *       --tag TAG [--threshold FRAC]
+ *     Report the result's per-design geomean speedups against the
+ *     newest history entry, then append them. A design regressed by
+ *     more than FRAC (default 0.02) exits 5 *without* appending, so a
+ *     regressed run never becomes the next comparison baseline.
+ *
+ * Environment:
+ *   CONFLUENCE_DISPATCH_FAULT=shard:K  poison shard K's first attempt
+ *       (the child dies before writing its result; the retry is clean) —
+ *       CI's fault-injection hook.
+ *   CONFLUENCE_CACHE_DIR / CONFLUENCE_CODE_VERSION  default cache
+ *       location and cache key code-version tag (see --cache /
+ *       --code-version).
+ *
+ * Exit codes: 0 success, 1 fatal error (bad configuration, shard
+ * exhausted its retries), 2 usage, 5 regression threshold exceeded.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "dispatch/backend.hh"
+#include "dispatch/dispatcher.hh"
+#include "dispatch/history.hh"
+#include "dispatch/result_cache.hh"
+#include "sweepio/codec.hh"
+
+using namespace cfl;
+
+namespace
+{
+
+constexpr int kExitUsage = 2;
+constexpr int kExitRegression = 5;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  %s --points spec.jsonl --out merged.jsonl\n"
+        "     [--backend local|ssh] [--workers N] [--hosts h1,h2,..]\n"
+        "     [--remote-dir DIR] [--shards M] [--timeout SEC]\n"
+        "     [--retries K] [--sweep-bin PATH]\n"
+        "     [--cache FILE | --no-cache] [--code-version TAG]\n"
+        "     [--work-dir DIR]\n"
+        "  %s --history history.jsonl --result merged.jsonl --tag TAG\n"
+        "     [--threshold FRAC]\n"
+        "exit codes: 0 ok, 1 fatal, 2 usage, 5 regression over "
+        "threshold\n",
+        argv0, argv0);
+    std::exit(kExitUsage);
+}
+
+/** Parse an unsigned decimal flag value; fatal() on anything else. */
+unsigned
+parseUnsigned(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || text[0] == '-')
+        cfl_fatal("%s needs an unsigned integer, got \"%s\"",
+                  flag.c_str(), text.c_str());
+    return static_cast<unsigned>(v);
+}
+
+/** Parse a decimal flag value; fatal() on anything else. */
+double
+parseDouble(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        cfl_fatal("%s needs a number, got \"%s\"", flag.c_str(),
+                  text.c_str());
+    return v;
+}
+
+/** confluence_sweep next to this binary, falling back to $PATH. */
+std::string
+defaultSweepBin(const char *argv0)
+{
+    const std::string self = argv0;
+    const std::size_t slash = self.rfind('/');
+    if (slash == std::string::npos)
+        return "confluence_sweep";
+    return self.substr(0, slash + 1) + "confluence_sweep";
+}
+
+int
+historyMode(const std::string &history_path,
+            const std::string &result_path, const std::string &tag,
+            double threshold)
+{
+    const SweepResult result = sweepio::readResult(result_path);
+    dispatch::RegressionHistory history(history_path);
+    const dispatch::HistoryEntry entry =
+        dispatch::RegressionHistory::summarize(result, tag);
+
+    // Gate before appending: a regressed run must not become the next
+    // comparison baseline, or one CI re-run would launder it green.
+    const std::vector<dispatch::RegressionDelta> deltas =
+        history.compare(entry);
+    bool regressed = false;
+    for (const dispatch::RegressionDelta &d : deltas) {
+        std::printf("history %s kind=%s prev=%.17g cur=%.17g "
+                    "delta=%+.4f%%\n",
+                    tag.c_str(), d.kind.c_str(), d.previous, d.current,
+                    d.delta * 100.0);
+        if (d.delta < -threshold)
+            regressed = true;
+    }
+    if (regressed) {
+        std::fprintf(stderr,
+                     "FAIL: a design regressed more than %.2f%% vs the "
+                     "previous history entry; not recording %s\n",
+                     threshold * 100.0, tag.c_str());
+        return kExitRegression;
+    }
+    history.append(entry);
+    if (deltas.empty())
+        std::printf("history %s: first entry, nothing to compare\n",
+                    tag.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string points_path, out_path;
+    std::string backend_name = "local";
+    unsigned workers = 2;
+    std::string hosts_list, remote_dir;
+    unsigned shards = 0, timeout_sec = 0, retries = 2;
+    std::string sweep_bin = defaultSweepBin(argv[0]);
+    std::string cache_path = dispatch::ResultCache::defaultStorePath();
+    std::string code_version =
+        dispatch::ResultCache::defaultCodeVersion();
+    bool no_cache = false;
+    std::string work_dir;
+
+    std::string history_path, result_path, tag;
+    double threshold = 0.02;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                cfl_fatal("%s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--points")
+            points_path = value();
+        else if (arg == "--out")
+            out_path = value();
+        else if (arg == "--backend")
+            backend_name = value();
+        else if (arg == "--workers")
+            workers = parseUnsigned(arg, value());
+        else if (arg == "--hosts")
+            hosts_list = value();
+        else if (arg == "--remote-dir")
+            remote_dir = value();
+        else if (arg == "--shards")
+            shards = parseUnsigned(arg, value());
+        else if (arg == "--timeout")
+            timeout_sec = parseUnsigned(arg, value());
+        else if (arg == "--retries")
+            retries = parseUnsigned(arg, value());
+        else if (arg == "--sweep-bin")
+            sweep_bin = value();
+        else if (arg == "--cache")
+            cache_path = value();
+        else if (arg == "--no-cache")
+            no_cache = true;
+        else if (arg == "--code-version")
+            code_version = value();
+        else if (arg == "--work-dir")
+            work_dir = value();
+        else if (arg == "--history")
+            history_path = value();
+        else if (arg == "--result")
+            result_path = value();
+        else if (arg == "--tag")
+            tag = value();
+        else if (arg == "--threshold")
+            threshold = parseDouble(arg, value());
+        else
+            usage(argv[0]);
+    }
+
+    if (!history_path.empty()) {
+        if (result_path.empty() || tag.empty() || !points_path.empty())
+            usage(argv[0]);
+        return historyMode(history_path, result_path, tag, threshold);
+    }
+    if (points_path.empty() || out_path.empty())
+        usage(argv[0]);
+
+    std::unique_ptr<dispatch::WorkerBackend> backend;
+    if (backend_name == "local") {
+        if (workers == 0)
+            cfl_fatal("--workers must be >= 1");
+        backend = std::make_unique<dispatch::LocalBackend>(workers);
+    } else if (backend_name == "ssh") {
+        if (hosts_list.empty())
+            cfl_fatal("--backend ssh needs --hosts h1,h2,..");
+        backend = std::make_unique<dispatch::SshBackend>(
+            splitList(hosts_list), remote_dir);
+    } else {
+        cfl_fatal("unknown backend \"%s\" (local|ssh)",
+                  backend_name.c_str());
+    }
+
+    dispatch::DispatchOptions opts;
+    opts.sweepBin = sweep_bin;
+    opts.workDir = work_dir.empty() ? out_path + ".work" : work_dir;
+    opts.shards = shards;
+    opts.retry.maxAttempts = retries + 1;
+    opts.retry.timeoutSec = timeout_sec;
+    if (const char *fault = std::getenv("CONFLUENCE_DISPATCH_FAULT"))
+        if (*fault != '\0')
+            opts.fault = fault;
+
+    std::unique_ptr<dispatch::ResultCache> cache;
+    if (!no_cache)
+        cache = std::make_unique<dispatch::ResultCache>(cache_path,
+                                                        code_version);
+
+    const std::vector<SweepPoint> points =
+        sweepio::readPoints(points_path);
+    dispatch::DispatchStats stats;
+    const SweepResult merged = dispatch::runDispatchedSweep(
+        points, *backend, opts, cache.get(), &stats);
+    sweepio::writeResult(out_path, merged);
+
+    for (const dispatch::ShardRun &run : stats.shardRuns)
+        if (run.attempts > 1)
+            std::fprintf(stderr,
+                         "shard %u needed %u attempts (last exit %d)\n",
+                         run.shard, run.attempts, run.lastExit);
+    std::fprintf(stderr, "dispatched %zu points (%u workers, backend "
+                 "%s) into %s\n",
+                 merged.points.size(), backend->workers(),
+                 backend_name.c_str(), out_path.c_str());
+    std::printf("dispatch total_points=%zu cache_hits=%llu "
+                "cache_misses=%llu evaluated_points=%zu shards=%u "
+                "retries=%u\n",
+                stats.totalPoints,
+                static_cast<unsigned long long>(
+                    cache ? cache->hits() : 0),
+                static_cast<unsigned long long>(
+                    cache ? cache->misses() : 0),
+                stats.evaluatedPoints, stats.shards, stats.retries);
+    return 0;
+}

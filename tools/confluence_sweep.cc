@@ -30,16 +30,30 @@
  *       Print per-point IPC/MPKI and per-design geomean speedups over
  *       Baseline at full precision, for diffing sharded vs unsharded
  *       runs in CI.
+ *
+ * Exit codes (dispatchers key retry decisions on these):
+ *   0  success
+ *   1  fatal error — bad configuration or I/O (infrastructure failure;
+ *      a dispatcher may retry elsewhere)
+ *   2  usage
+ *   3  duplicate-point rejection — a corrupt spec (--points: two specs
+ *      concatenated) or shard set (--merge: a shard merged twice);
+ *      deterministic, never worth a retry
+ *   4  injected fault (CONFLUENCE_SWEEP_FAULT=abort): --points dies
+ *      after evaluating but before writing its result, simulating a
+ *      worker killed mid-run — the dispatcher fault-injection hook
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 #include "sim/sweep.hh"
 #include "sweepio/codec.hh"
 #include "sweepio/shard.hh"
@@ -48,6 +62,10 @@ using namespace cfl;
 
 namespace
 {
+
+constexpr int kExitUsage = 2;
+constexpr int kExitDuplicatePoint = 3;
+constexpr int kExitInjectedFault = 4;
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -59,29 +77,12 @@ usage(const char *argv0)
         "     [--scale quick|default|full] --out spec.jsonl\n"
         "  %s --points spec.jsonl [--shard i/N] --out result.jsonl\n"
         "  %s --merge shard0.jsonl shard1.jsonl .. --out merged.jsonl\n"
-        "  %s --summary result.jsonl\n",
+        "  %s --summary result.jsonl\n"
+        "exit codes: 0 ok, 1 fatal, 2 usage, 3 duplicate point "
+        "(--points/--merge),\n"
+        "  4 injected fault (CONFLUENCE_SWEEP_FAULT=abort)\n",
         argv0, argv0, argv0, argv0);
-    std::exit(2);
-}
-
-/** Split "a,b,c" at commas; no empty items allowed. */
-std::vector<std::string>
-splitList(const std::string &list)
-{
-    std::vector<std::string> items;
-    std::size_t start = 0;
-    while (start <= list.size()) {
-        const std::size_t comma = list.find(',', start);
-        const std::size_t end =
-            comma == std::string::npos ? list.size() : comma;
-        if (end == start)
-            cfl_fatal("empty item in list \"%s\"", list.c_str());
-        items.push_back(list.substr(start, end - start));
-        start = end + 1;
-        if (comma == std::string::npos)
-            break;
-    }
-    return items;
+    std::exit(kExitUsage);
 }
 
 std::vector<FrontendKind>
@@ -129,16 +130,21 @@ runPoints(const std::string &spec_path, const std::string &shard_spec,
 
     // Reject duplicate points at the door (e.g. two specs accidentally
     // concatenated) — a result holding duplicates would only blow up
-    // later, in --summary or any SweepResult::find caller.
+    // later, in --summary or any SweepResult::find caller. Same
+    // distinct exit code as the --merge rejection: the input is
+    // deterministically corrupt, so a dispatcher must not retry it.
     std::set<std::pair<std::string, std::string>> unique;
     for (const SweepPoint &p : points) {
         const auto key = std::make_pair(frontendKindSlug(p.kind),
                                         workloadSlug(p.workload));
-        if (!unique.insert(key).second)
-            cfl_fatal("duplicate point (%s, %s) in %s — two specs "
-                      "concatenated?",
-                      key.first.c_str(), key.second.c_str(),
-                      spec_path.c_str());
+        if (!unique.insert(key).second) {
+            std::fprintf(stderr,
+                         "error: duplicate point (%s, %s) in %s — two "
+                         "specs concatenated?\n",
+                         key.first.c_str(), key.second.c_str(),
+                         spec_path.c_str());
+            return kExitDuplicatePoint;
+        }
     }
 
     if (!shard_spec.empty())
@@ -163,6 +169,20 @@ runPoints(const std::string &spec_path, const std::string &shard_spec,
             makeSystemConfig(points.front().scale.timingCores);
         result = runTimingSweep(points, config, engine);
     }
+
+    // Fault-injection hook for dispatcher tests: die *after* the sweep
+    // but *before* the result exists, like a worker killed mid-run.
+    if (const char *fault = std::getenv("CONFLUENCE_SWEEP_FAULT")) {
+        if (std::string(fault) == "abort") {
+            std::fprintf(stderr, "injected fault: dying before writing "
+                         "%s\n", out_path.c_str());
+            std::exit(kExitInjectedFault);
+        }
+        if (*fault != '\0')
+            cfl_fatal("unknown CONFLUENCE_SWEEP_FAULT \"%s\" (abort)",
+                      fault);
+    }
+
     sweepio::writeResult(out_path, result);
     std::fprintf(stderr, "evaluated %zu points (%u workers) into %s\n",
                  result.points.size(), engine.jobs(), out_path.c_str());
@@ -191,11 +211,19 @@ mergeResults(const std::vector<std::string> &inputs,
         for (const SweepOutcome &o : shard.points) {
             const auto key = std::make_pair(frontendKindSlug(o.point.kind),
                                             workloadSlug(o.point.workload));
-            if (!seen.insert(key).second)
-                cfl_fatal("duplicate point (%s, %s) in %s — was a shard "
-                          "merged twice?",
-                          key.first.c_str(), key.second.c_str(),
-                          path.c_str());
+            if (!seen.insert(key).second) {
+                // Distinct, documented exit code: a duplicate point
+                // means the shard *set* is corrupt (a shard merged
+                // twice), which no amount of retrying on another
+                // worker will fix — dispatchers must be able to tell
+                // this apart from an infrastructure failure (exit 1).
+                std::fprintf(stderr,
+                             "error: duplicate point (%s, %s) in %s — "
+                             "was a shard merged twice?\n",
+                             key.first.c_str(), key.second.c_str(),
+                             path.c_str());
+                return kExitDuplicatePoint;
+            }
         }
         merged.merge(std::move(shard));
     }
