@@ -1,5 +1,7 @@
 #include "common/strings.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 
 namespace cfl
@@ -22,6 +24,17 @@ splitList(const std::string &list)
             break;
     }
     return items;
+}
+
+unsigned
+parseUnsignedFlag(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || text[0] == '-')
+        cfl_fatal("%s needs an unsigned integer, got \"%s\"",
+                  flag.c_str(), text.c_str());
+    return static_cast<unsigned>(v);
 }
 
 } // namespace cfl

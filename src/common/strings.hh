@@ -16,6 +16,11 @@ namespace cfl
  *  comma, or an empty list). */
 std::vector<std::string> splitList(const std::string &list);
 
+/** Parse @p text as an unsigned decimal CLI flag value; fatal() —
+ *  naming @p flag — on anything else. */
+unsigned parseUnsignedFlag(const std::string &flag,
+                           const std::string &text);
+
 } // namespace cfl
 
 #endif // CFL_COMMON_STRINGS_HH

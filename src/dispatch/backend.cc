@@ -44,7 +44,8 @@ sshWrapCommand(const std::string &host, const std::string &remote_dir,
 }
 
 RunStatus
-runLocalCommand(const std::string &command, unsigned timeout_sec)
+runLocalCommand(const std::string &command, unsigned timeout_sec,
+                const std::function<bool()> &poll_tick)
 {
     const pid_t pid = ::fork();
     if (pid < 0)
@@ -59,16 +60,18 @@ runLocalCommand(const std::string &command, unsigned timeout_sec)
     using Clock = std::chrono::steady_clock;
     const Clock::time_point deadline =
         Clock::now() + std::chrono::seconds(timeout_sec);
+    const bool block = timeout_sec == 0 && !poll_tick;
 
     int status = 0;
     while (true) {
-        const pid_t r =
-            ::waitpid(pid, &status, timeout_sec == 0 ? 0 : WNOHANG);
+        const pid_t r = ::waitpid(pid, &status, block ? 0 : WNOHANG);
         if (r == pid)
             break;
         if (r < 0)
             cfl_fatal("waitpid failed: %s", std::strerror(errno));
-        if (timeout_sec != 0 && Clock::now() >= deadline) {
+        const bool expired =
+            timeout_sec != 0 && Clock::now() >= deadline;
+        if (expired || (poll_tick && !poll_tick())) {
             ::kill(pid, SIGKILL);
             ::waitpid(pid, &status, 0);
             RunStatus out;

@@ -26,6 +26,7 @@
 #ifndef CFL_DISPATCH_BACKEND_HH
 #define CFL_DISPATCH_BACKEND_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -81,9 +82,16 @@ std::string sshWrapCommand(const std::string &host,
 
 /**
  * Run @p command under /bin/sh -c, enforcing @p timeout_sec (0 = no
- * timeout) by SIGKILL. The shared engine under both backends.
+ * timeout) by SIGKILL. The shared engine under both backends. A
+ * non-empty @p poll_tick is invoked every ~20ms while the child runs —
+ * the hook confluence_worker uses to heartbeat its queue lease without
+ * a second thread. Returning false from the tick aborts the child by
+ * SIGKILL (reported as a timeout): the worker's reaction to a lost
+ * lease, where racing the re-claimed attempt's writes would be worse
+ * than stopping.
  */
-RunStatus runLocalCommand(const std::string &command, unsigned timeout_sec);
+RunStatus runLocalCommand(const std::string &command, unsigned timeout_sec,
+                          const std::function<bool()> &poll_tick = {});
 
 /** Subprocess slots on the local machine. */
 class LocalBackend : public WorkerBackend

@@ -266,7 +266,7 @@ runDispatchedSweep(const std::vector<SweepPoint> &points,
                       fresh.points.size(), misses.size());
         st.evaluatedPoints = fresh.points.size();
 
-        if (cache != nullptr) {
+        if (cache != nullptr && opts.cacheWriteBack) {
             for (const SweepOutcome &o : fresh.points)
                 cache->insert(o);
             cache->flush();

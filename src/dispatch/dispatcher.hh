@@ -90,6 +90,12 @@ struct DispatchOptions
     unsigned shards = 0;      ///< shard count (0 = one per worker)
     RetryPolicy retry;
     std::string fault;        ///< "shard:K" first-attempt fault, or ""
+    /** Store fresh outcomes back into the cache. Queue-mode dispatch
+     *  turns this off: there the worker daemons append each shard's
+     *  outcomes themselves (so a SIGKILLed coordinator loses nothing),
+     *  and a coordinator-side re-insert — whose in-memory view
+     *  predates those appends — would only duplicate store lines. */
+    bool cacheWriteBack = true;
 };
 
 /** Bookkeeping a dispatched sweep reports back. */

@@ -1,11 +1,17 @@
 #include "dispatch/history.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "sweepio/json.hh"
@@ -17,6 +23,8 @@ namespace
 {
 
 using Scanner = sweepio::MiniJsonParser;
+
+std::atomic<std::uint64_t> g_historyStoreOpens{0};
 
 /**
  * The strings a history line embeds (tags, kind slugs) must stay
@@ -98,6 +106,7 @@ decodeEntry(const std::string &line, bool throw_on_error = false)
 RegressionHistory::RegressionHistory(std::string path)
     : path_(std::move(path))
 {
+    g_historyStoreOpens.fetch_add(1, std::memory_order_relaxed);
     std::ifstream in(path_);
     if (!in)
         return; // no history yet
@@ -145,6 +154,12 @@ RegressionHistory::summarize(const SweepResult &result,
     return entry;
 }
 
+RegressionHistory::~RegressionHistory()
+{
+    if (appendFd_ >= 0)
+        ::close(appendFd_);
+}
+
 void
 RegressionHistory::append(const HistoryEntry &entry)
 {
@@ -152,21 +167,30 @@ RegressionHistory::append(const HistoryEntry &entry)
     for (const auto &[kind, geomean] : entry.geomeans)
         checkStoreString("kind", kind);
 
-    const std::filesystem::path parent =
-        std::filesystem::path(path_).parent_path();
-    if (!parent.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(parent, ec);
-        if (ec)
-            cfl_fatal("cannot create history directory \"%s\": %s",
-                      parent.c_str(), ec.message().c_str());
+    // One append descriptor per history lifetime (mirroring
+    // ResultCache::flush): repeated appends reuse it instead of
+    // reopening the store every time.
+    if (appendFd_ < 0) {
+        const std::filesystem::path parent =
+            std::filesystem::path(path_).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+            if (ec)
+                cfl_fatal("cannot create history directory \"%s\": %s",
+                          parent.c_str(), ec.message().c_str());
+        }
+        g_historyStoreOpens.fetch_add(1, std::memory_order_relaxed);
+        appendFd_ = ::open(path_.c_str(),
+                           O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                           0644);
+        if (appendFd_ < 0)
+            cfl_fatal("cannot open history \"%s\" for appending: %s",
+                      path_.c_str(), std::strerror(errno));
     }
-    std::ofstream out(path_, std::ios::app);
-    if (!out)
-        cfl_fatal("cannot open history \"%s\" for appending",
-                  path_.c_str());
-    out << encodeEntry(entry) << '\n';
-    if (!out.flush())
+    const std::string line = encodeEntry(entry) + "\n";
+    if (::write(appendFd_, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size()))
         cfl_fatal("failed writing history \"%s\"", path_.c_str());
     entries_.push_back(entry);
 }
@@ -211,6 +235,18 @@ RegressionHistory::deltas() const
         return {};
     return compareEntries(entries_[entries_.size() - 2],
                           entries_.back());
+}
+
+std::uint64_t
+RegressionHistory::storeOpens()
+{
+    return g_historyStoreOpens.load(std::memory_order_relaxed);
+}
+
+void
+RegressionHistory::resetStoreOpensForTesting()
+{
+    g_historyStoreOpens.store(0, std::memory_order_relaxed);
 }
 
 } // namespace cfl::dispatch

@@ -56,6 +56,10 @@ class RegressionHistory
   public:
     /** Load the JSONL history at @p path (missing file = empty). */
     explicit RegressionHistory(std::string path);
+    ~RegressionHistory();
+
+    RegressionHistory(const RegressionHistory &) = delete;
+    RegressionHistory &operator=(const RegressionHistory &) = delete;
 
     /** @p result condensed to a HistoryEntry: every non-Baseline kind's
      *  geomean speedup over Baseline. fatal() without Baseline points. */
@@ -85,9 +89,16 @@ class RegressionHistory
      *  two entries. */
     std::vector<RegressionDelta> deltas() const;
 
+    /** Test hook mirroring ResultCache::storeOpens(): store-file opens
+     *  (load + the once-per-lifetime append descriptor) across all
+     *  instances since the last reset. */
+    static std::uint64_t storeOpens();
+    static void resetStoreOpensForTesting();
+
   private:
     std::string path_;
     std::vector<HistoryEntry> entries_;
+    int appendFd_ = -1; ///< store append descriptor, opened once
 };
 
 } // namespace cfl::dispatch

@@ -1,8 +1,14 @@
 #include "dispatch/result_cache.hh"
 
+#include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "sweepio/codec.hh"
@@ -13,6 +19,8 @@ namespace cfl::dispatch
 
 namespace
 {
+
+std::atomic<std::uint64_t> g_cacheStoreOpens{0};
 
 /**
  * Baked-in code-version tag. Bump whenever a change alters any sweep
@@ -27,6 +35,7 @@ constexpr const char *kBuiltinCodeVersion = "confluence-metrics-v1";
 ResultCache::ResultCache(std::string store_path, std::string code_version)
     : path_(std::move(store_path)), codeVersion_(std::move(code_version))
 {
+    g_cacheStoreOpens.fetch_add(1, std::memory_order_relaxed);
     std::ifstream in(path_);
     if (!in)
         return; // empty cache: first run or a fresh machine
@@ -96,29 +105,56 @@ ResultCache::insert(const SweepOutcome &outcome)
     pending_.push_back(sweepio::encodeCacheEntry({k, outcome}));
 }
 
+ResultCache::~ResultCache()
+{
+    if (appendFd_ >= 0)
+        ::close(appendFd_);
+}
+
 void
 ResultCache::flush()
 {
     if (pending_.empty())
         return;
-    const std::filesystem::path parent =
-        std::filesystem::path(path_).parent_path();
-    if (!parent.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(parent, ec);
-        if (ec)
-            cfl_fatal("cannot create cache directory \"%s\": %s",
-                      parent.c_str(), ec.message().c_str());
+    if (appendFd_ < 0) {
+        const std::filesystem::path parent =
+            std::filesystem::path(path_).parent_path();
+        if (!parent.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(parent, ec);
+            if (ec)
+                cfl_fatal("cannot create cache directory \"%s\": %s",
+                          parent.c_str(), ec.message().c_str());
+        }
+        g_cacheStoreOpens.fetch_add(1, std::memory_order_relaxed);
+        appendFd_ = ::open(path_.c_str(),
+                           O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                           0644);
+        if (appendFd_ < 0)
+            cfl_fatal("cannot open cache store \"%s\" for appending: %s",
+                      path_.c_str(), std::strerror(errno));
     }
-    std::ofstream out(path_, std::ios::app);
-    if (!out)
-        cfl_fatal("cannot open cache store \"%s\" for appending",
-                  path_.c_str());
-    for (const std::string &line : pending_)
-        out << line << '\n';
-    if (!out.flush())
+    std::string batch;
+    for (const std::string &line : pending_) {
+        batch += line;
+        batch += '\n';
+    }
+    if (::write(appendFd_, batch.data(), batch.size()) !=
+        static_cast<ssize_t>(batch.size()))
         cfl_fatal("failed writing cache store \"%s\"", path_.c_str());
     pending_.clear();
+}
+
+std::uint64_t
+ResultCache::storeOpens()
+{
+    return g_cacheStoreOpens.load(std::memory_order_relaxed);
+}
+
+void
+ResultCache::resetStoreOpensForTesting()
+{
+    g_cacheStoreOpens.store(0, std::memory_order_relaxed);
 }
 
 } // namespace cfl::dispatch

@@ -47,6 +47,10 @@ class ResultCache
      * cache, not an error) with @p code_version baked into every key.
      */
     ResultCache(std::string store_path, std::string code_version);
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
 
     /** $CONFLUENCE_CACHE_DIR (default ".confluence-cache") +
      *  "/results.jsonl". */
@@ -73,8 +77,15 @@ class ResultCache
     /** Store @p outcome under its own (point, seed) key. */
     void insert(const SweepOutcome &outcome);
 
-    /** Append entries inserted since the last flush to the store file,
-     *  creating the store directory if needed. */
+    /**
+     * Append entries inserted since the last flush to the store file,
+     * creating the store directory if needed. The whole batch goes
+     * down in one O_APPEND write() on a descriptor opened once per
+     * cache lifetime — long-running users (the worker daemon flushes
+     * after every completed task) pay one store open per run, not one
+     * per flush, and concurrent appenders sharing the store interleave
+     * at batch granularity.
+     */
     void flush();
 
     std::uint64_t hits() const { return hits_; }
@@ -83,6 +94,16 @@ class ResultCache
     const std::string &storePath() const { return path_; }
     const std::string &codeVersion() const { return codeVersion_; }
 
+    /**
+     * Test hook: how many times any ResultCache has opened its store
+     * file (initial load + the once-per-lifetime append descriptor)
+     * since the last reset. Regression tests pin this so a future
+     * change cannot quietly reintroduce an open per lookup or per
+     * flush.
+     */
+    static std::uint64_t storeOpens();
+    static void resetStoreOpensForTesting();
+
   private:
     std::string path_;
     std::string codeVersion_;
@@ -90,6 +111,7 @@ class ResultCache
     std::vector<std::string> pending_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    int appendFd_ = -1; ///< store append descriptor, opened once
 };
 
 } // namespace cfl::dispatch

@@ -1,0 +1,613 @@
+#include "queue/queue.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace cfl::queue
+{
+
+namespace fs = std::filesystem;
+using sweepio::DoneRecord;
+using sweepio::LeaseRecord;
+using sweepio::QueueLogRecord;
+using sweepio::TaskRecord;
+
+namespace
+{
+
+constexpr const char *kTaskSuffix = ".task";
+
+/** "<seq as 12 digits>-<id>.task": sorted scans are FIFO by seq. */
+std::string
+taskFileName(const TaskRecord &task)
+{
+    char seq[16];
+    std::snprintf(seq, sizeof(seq), "%012llu",
+                  static_cast<unsigned long long>(task.seq));
+    return std::string(seq) + "-" + task.id + kTaskSuffix;
+}
+
+/** The id embedded in a task file name, or "" if the name is foreign. */
+std::string
+idFromFileName(const std::string &name)
+{
+    const std::size_t suffix = name.size() - std::strlen(kTaskSuffix);
+    if (name.size() < 14 + std::strlen(kTaskSuffix) ||
+        name.compare(suffix, std::string::npos, kTaskSuffix) != 0 ||
+        name[12] != '-')
+        return "";
+    return name.substr(13, suffix - 13);
+}
+
+/** Sorted task-file names under @p dir (FIFO by the seq prefix). */
+std::vector<std::string>
+sortedTaskFiles(const std::string &dir)
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (!idFromFileName(name).empty())
+            names.push_back(name);
+    }
+    if (ec)
+        cfl_fatal("cannot scan queue directory \"%s\": %s", dir.c_str(),
+                  ec.message().c_str());
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool
+hasTaskFile(const std::string &dir, const std::string &id)
+{
+    std::error_code ec;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir, ec))
+        if (idFromFileName(entry.path().filename().string()) == id)
+            return true;
+    return false;
+}
+
+std::size_t
+countTaskFiles(const std::string &dir)
+{
+    std::size_t count = 0;
+    std::error_code ec;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir, ec))
+        if (!idFromFileName(entry.path().filename().string()).empty())
+            ++count;
+    return ec ? 0 : count;
+}
+
+/** Write @p text to @p path in one pass; fatal() on any failure. */
+void
+writeFileOrDie(const std::string &path, const std::string &text)
+{
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        cfl_fatal("cannot create \"%s\": %s", path.c_str(),
+                  std::strerror(errno));
+    const ssize_t written = ::write(fd, text.data(), text.size());
+    const int close_err = ::close(fd);
+    if (written != static_cast<ssize_t>(text.size()) || close_err != 0)
+        cfl_fatal("failed writing \"%s\"", path.c_str());
+}
+
+/** Atomic rename; true on success, false on ENOENT (lost a race),
+ *  fatal() on anything else. */
+bool
+tryRename(const std::string &from, const std::string &to)
+{
+    if (::rename(from.c_str(), to.c_str()) == 0)
+        return true;
+    if (errno == ENOENT)
+        return false;
+    cfl_fatal("cannot rename \"%s\" to \"%s\": %s", from.c_str(),
+              to.c_str(), std::strerror(errno));
+}
+
+/** Slurp @p path; nullopt if it cannot be opened. */
+std::optional<std::string>
+readFirstLine(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::string line;
+    std::getline(in, line);
+    return line;
+}
+
+} // namespace
+
+WorkQueue::WorkQueue(std::string dir) : dir_(std::move(dir))
+{
+    for (const char *sub : {"", "/pending", "/claimed", "/leases",
+                            "/done", "/cancelled", "/tmp"}) {
+        std::error_code ec;
+        fs::create_directories(dir_ + sub, ec);
+        if (ec)
+            cfl_fatal("cannot create queue directory \"%s%s\": %s",
+                      dir_.c_str(), sub, ec.message().c_str());
+    }
+    // Resume sequence numbering past everything the log remembers, so a
+    // restarted coordinator's task files sort after the survivors'.
+    for (const QueueLogRecord &record : readLog())
+        if (record.op == "enqueue")
+            nextSeq_ = std::max(nextSeq_, record.task.seq + 1);
+}
+
+WorkQueue::~WorkQueue()
+{
+    if (logFd_ >= 0)
+        ::close(logFd_);
+}
+
+std::string
+WorkQueue::defaultDir()
+{
+    const char *dir = std::getenv("CONFLUENCE_QUEUE_DIR");
+    return (dir != nullptr && *dir != '\0') ? dir : ".confluence-queue";
+}
+
+std::uint64_t
+WorkQueue::nowMs() const
+{
+    if (clock_ != nullptr)
+        return clock_();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
+WorkQueue::logPath() const
+{
+    return dir_ + "/tasks.jsonl";
+}
+
+std::string
+WorkQueue::leasePath(const std::string &id) const
+{
+    return dir_ + "/leases/" + id + ".lease";
+}
+
+std::string
+WorkQueue::donePath(const std::string &id) const
+{
+    return dir_ + "/done/" + id + ".done";
+}
+
+std::string
+WorkQueue::uniqueTmpPath(const std::string &stem)
+{
+    std::uint64_t n;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        n = tmpCounter_++;
+    }
+    return dir_ + "/tmp/" + stem + "." + std::to_string(::getpid()) +
+           "." + std::to_string(n);
+}
+
+void
+WorkQueue::appendLog(const QueueLogRecord &record)
+{
+    const std::string line = sweepio::encodeQueueLog(record) + "\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    // One descriptor per run, opened lazily; every record goes down in
+    // a single O_APPEND write() so concurrent appenders (coordinator +
+    // N worker processes) interleave at line granularity, not byte.
+    if (logFd_ < 0) {
+        logFd_ = ::open(logPath().c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+        if (logFd_ < 0)
+            cfl_fatal("cannot open queue log \"%s\": %s",
+                      logPath().c_str(), std::strerror(errno));
+    }
+    if (::write(logFd_, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size()))
+        cfl_fatal("failed appending to queue log \"%s\"",
+                  logPath().c_str());
+}
+
+std::vector<QueueLogRecord>
+WorkQueue::readLog() const
+{
+    std::vector<QueueLogRecord> records;
+    std::ifstream in(logPath());
+    if (!in)
+        return records; // fresh queue: no log yet
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        QueueLogRecord record;
+        // A torn line (a process killed mid-append) loses that one
+        // record, never the queue.
+        if (!sweepio::tryDecodeQueueLog(line, &record)) {
+            cfl_warn("skipping unparseable line %zu of queue log "
+                     "\"%s\" (torn append?)", lineno, logPath().c_str());
+            continue;
+        }
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+TaskRecord
+WorkQueue::enqueue(TaskRecord task)
+{
+    cfl_assert(!task.id.empty(), "a task needs an id");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        task.seq = nextSeq_++;
+    }
+    // Reject id reuse up front: done/lease lookups are by id, so a
+    // second live task under the same id would alias the first — the
+    // completed copy's done record would silently retire the other.
+    if (fs::exists(donePath(task.id)) ||
+        fs::exists(leasePath(task.id)) ||
+        hasTaskFile(dir_ + "/pending", task.id) ||
+        hasTaskFile(dir_ + "/claimed", task.id))
+        cfl_fatal("task id \"%s\" is already in use in queue \"%s\"",
+                  task.id.c_str(), dir_.c_str());
+
+    QueueLogRecord record;
+    record.op = "enqueue";
+    record.task = task;
+    appendLog(record); // log the intent first, then publish
+
+    const std::string tmp = uniqueTmpPath("enqueue-" + task.id);
+    writeFileOrDie(tmp, sweepio::encodeTask(task) + "\n");
+    if (!tryRename(tmp, dir_ + "/pending/" + taskFileName(task)))
+        cfl_fatal("lost enqueue rename for task \"%s\"",
+                  task.id.c_str());
+    return task;
+}
+
+std::size_t
+WorkQueue::cancelPending()
+{
+    std::size_t count = 0;
+    for (const std::string &name : sortedTaskFiles(dir_ + "/pending")) {
+        if (!tryRename(dir_ + "/pending/" + name,
+                       dir_ + "/cancelled/" + name))
+            continue; // a worker claimed it first; that attempt runs
+        QueueLogRecord record;
+        record.op = "cancel";
+        record.task.id = idFromFileName(name);
+        appendLog(record);
+        ++count;
+    }
+    return count;
+}
+
+bool
+WorkQueue::cancelTask(const std::string &id)
+{
+    for (const std::string &name : sortedTaskFiles(dir_ + "/pending")) {
+        if (idFromFileName(name) != id)
+            continue;
+        if (!tryRename(dir_ + "/pending/" + name,
+                       dir_ + "/cancelled/" + name))
+            return false;
+        QueueLogRecord record;
+        record.op = "cancel";
+        record.task.id = id;
+        appendLog(record);
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+WorkQueue::pendingCount() const
+{
+    return countTaskFiles(dir_ + "/pending");
+}
+
+std::size_t
+WorkQueue::claimedCount() const
+{
+    return countTaskFiles(dir_ + "/claimed");
+}
+
+std::optional<LeaseRecord>
+WorkQueue::readLease(const std::string &id) const
+{
+    const std::optional<std::string> line =
+        readFirstLine(leasePath(id));
+    if (!line)
+        return std::nullopt;
+    LeaseRecord lease;
+    if (!sweepio::tryDecodeLease(*line, &lease))
+        return std::nullopt; // unreadable == expired: reclaimable
+    return lease;
+}
+
+bool
+WorkQueue::stealLease(const std::string &id)
+{
+    // Renaming the lease away is the atomic part: exactly one stealer
+    // wins, everyone else sees ENOENT and backs off.
+    const std::string tmp = uniqueTmpPath("steal-" + id);
+    if (!tryRename(leasePath(id), tmp))
+        return false;
+    ::unlink(tmp.c_str());
+    return true;
+}
+
+std::optional<TaskClaim>
+WorkQueue::claim(const std::string &owner, unsigned lease_sec)
+{
+    cfl_assert(lease_sec >= 1, "a lease needs a positive duration");
+    for (const std::string &name : sortedTaskFiles(dir_ + "/pending")) {
+        const std::string id = idFromFileName(name);
+        const std::string lease_path = leasePath(id);
+
+        // Re-pended by a reclaim, then completed anyway by the stale
+        // worker: the work is done and durable, so retire the task
+        // instead of running it a second time.
+        if (fs::exists(donePath(id))) {
+            tryRename(dir_ + "/pending/" + name,
+                      dir_ + "/cancelled/" + name);
+            continue;
+        }
+
+        // A lease on a *pending* task is a claim in progress — or the
+        // debris of a claimer that died between lease and rename.
+        // Live: skip. Expired or unreadable: steal it out of the way.
+        if (const std::optional<LeaseRecord> stale = readLease(id)) {
+            if (stale->deadlineMs > nowMs())
+                continue;
+            if (!stealLease(id))
+                continue;
+        }
+
+        // Step 1 of the claim: the lease, taken exclusively. O_EXCL
+        // guarantees two workers never both hold it.
+        const int fd = ::open(lease_path.c_str(),
+                              O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC,
+                              0644);
+        if (fd < 0) {
+            if (errno == EEXIST)
+                continue; // raced: someone else is claiming this task
+            cfl_fatal("cannot create lease \"%s\": %s",
+                      lease_path.c_str(), std::strerror(errno));
+        }
+        LeaseRecord lease;
+        lease.id = id;
+        lease.owner = owner;
+        lease.deadlineMs =
+            nowMs() + static_cast<std::uint64_t>(lease_sec) * 1000;
+        const std::string text = sweepio::encodeLease(lease) + "\n";
+        const ssize_t written = ::write(fd, text.data(), text.size());
+        const int close_err = ::close(fd);
+        if (written != static_cast<ssize_t>(text.size()) ||
+            close_err != 0)
+            cfl_fatal("failed writing lease \"%s\"", lease_path.c_str());
+
+        // Step 2: move the task under the lease. Only the lease holder
+        // renames, so there is no competing mover; ENOENT means the
+        // coordinator cancelled (or a reclaim re-pended it under a new
+        // name) between our scan and now — drop the lease and move on.
+        if (!tryRename(dir_ + "/pending/" + name,
+                       dir_ + "/claimed/" + name)) {
+            ::unlink(lease_path.c_str());
+            continue;
+        }
+
+        const std::optional<std::string> line =
+            readFirstLine(dir_ + "/claimed/" + name);
+        TaskRecord task;
+        if (!line || !sweepio::tryDecodeTask(*line, &task))
+            cfl_fatal("claimed task file \"%s\" is unreadable",
+                      name.c_str());
+        TaskClaim out;
+        out.task = std::move(task);
+        out.fileName = name;
+        out.owner = owner;
+        out.deadlineMs = lease.deadlineMs;
+        return out;
+    }
+    return std::nullopt;
+}
+
+bool
+WorkQueue::heartbeat(TaskClaim &claim, unsigned lease_sec)
+{
+    const std::optional<LeaseRecord> current =
+        readLease(claim.task.id);
+    if (!current || current->owner != claim.owner)
+        return false; // expired and reclaimed out from under us
+    // Refuse to renew a lease that has already expired: it is
+    // reclaim-eligible, so a steal + re-claim may be happening right
+    // now, and renewing would overwrite the new owner's fresh lease.
+    // An unexpired lease cannot be stolen, which makes the replacement
+    // below race-free.
+    if (current->deadlineMs <= nowMs())
+        return false;
+    LeaseRecord fresh;
+    fresh.id = claim.task.id;
+    fresh.owner = claim.owner;
+    fresh.deadlineMs =
+        nowMs() + static_cast<std::uint64_t>(lease_sec) * 1000;
+    const std::string tmp = uniqueTmpPath("lease-" + claim.task.id);
+    writeFileOrDie(tmp, sweepio::encodeLease(fresh) + "\n");
+    if (!tryRename(tmp, leasePath(claim.task.id)))
+        return false;
+    claim.deadlineMs = fresh.deadlineMs;
+    return true;
+}
+
+void
+WorkQueue::complete(const TaskClaim &claim, int exit_code)
+{
+    const std::string done_path = donePath(claim.task.id);
+    if (!fs::exists(done_path)) {
+        DoneRecord done;
+        done.id = claim.task.id;
+        done.owner = claim.owner;
+        done.exitCode = static_cast<std::uint64_t>(
+            exit_code < 0 ? 255 : exit_code);
+        const std::string tmp =
+            uniqueTmpPath("done-" + claim.task.id);
+        writeFileOrDie(tmp, sweepio::encodeDone(done) + "\n");
+        // Atomic publish; if a twin completion (reclaimed lease, both
+        // workers finished) races us, last-rename-wins and either
+        // record is a valid terminal state for a deterministic task.
+        if (!tryRename(tmp, done_path))
+            cfl_fatal("lost completion rename for task \"%s\"",
+                      claim.task.id.c_str());
+        QueueLogRecord record;
+        record.op = "done";
+        record.done = done;
+        record.task.id = done.id;
+        appendLog(record);
+    }
+    // Release only what we still own: after a reclaim, the claimed
+    // file and lease belong to the later claimant, not to us.
+    const std::optional<LeaseRecord> lease = readLease(claim.task.id);
+    if (lease && lease->owner == claim.owner) {
+        ::unlink((dir_ + "/claimed/" + claim.fileName).c_str());
+        ::unlink(leasePath(claim.task.id).c_str());
+    }
+}
+
+std::optional<DoneRecord>
+WorkQueue::doneRecord(const std::string &id) const
+{
+    const std::optional<std::string> line =
+        readFirstLine(donePath(id));
+    if (!line)
+        return std::nullopt;
+    DoneRecord done;
+    if (!sweepio::tryDecodeDone(*line, &done))
+        return std::nullopt; // done files are rename-published; treat
+                             // the impossible as "not done yet"
+    return done;
+}
+
+std::size_t
+WorkQueue::reclaimExpired()
+{
+    std::size_t count = 0;
+    for (const std::string &name : sortedTaskFiles(dir_ + "/claimed")) {
+        const std::string id = idFromFileName(name);
+
+        // A claim whose done record exists is finished; its completer
+        // died between publishing done/ and releasing. Just release.
+        if (fs::exists(donePath(id))) {
+            ::unlink((dir_ + "/claimed/" + name).c_str());
+            ::unlink(leasePath(id).c_str());
+            continue;
+        }
+
+        const std::optional<LeaseRecord> lease = readLease(id);
+        if (lease && lease->deadlineMs > nowMs())
+            continue; // live worker
+        // Expired (or mid-reclaim crash left no lease at all): steal
+        // the lease if there is one, then re-pend the task.
+        if (lease && !stealLease(id))
+            continue; // a heartbeat or another reclaimer raced us
+        if (!tryRename(dir_ + "/claimed/" + name,
+                       dir_ + "/pending/" + name))
+            continue;
+        QueueLogRecord record;
+        record.op = "reclaim";
+        record.task.id = id;
+        appendLog(record);
+        ++count;
+    }
+    return count;
+}
+
+void
+WorkQueue::requestStop()
+{
+    writeFileOrDie(dir_ + "/stop", "stop\n");
+}
+
+bool
+WorkQueue::stopRequested() const
+{
+    return fs::exists(dir_ + "/stop");
+}
+
+void
+WorkQueue::clearStop()
+{
+    ::unlink((dir_ + "/stop").c_str());
+}
+
+std::string
+shellExtractFlagValue(const std::string &command, const std::string &flag)
+{
+    // Tokenize the way /bin/sh would split this command line: spaces
+    // outside quotes separate words, single quotes span literally, and
+    // a backslash outside quotes escapes the next character (the only
+    // place shellQuote() emits one is the '\'' embedded-quote idiom).
+    // Matching the flag against whole *words* keeps a flag-shaped
+    // substring inside some quoted path from ever counting.
+    std::vector<std::string> words;
+    std::string word;
+    bool in_word = false, in_quotes = false;
+    for (std::size_t i = 0; i < command.size(); ++i) {
+        const char c = command[i];
+        if (in_quotes) {
+            if (c == '\'')
+                in_quotes = false;
+            else
+                word += c;
+            continue;
+        }
+        if (c == '\'') {
+            in_quotes = true;
+            in_word = true;
+            continue;
+        }
+        if (c == '\\' && i + 1 < command.size()) {
+            word += command[++i];
+            in_word = true;
+            continue;
+        }
+        if (c == ' ') {
+            if (in_word)
+                words.push_back(std::move(word));
+            word.clear();
+            in_word = false;
+            continue;
+        }
+        word += c;
+        in_word = true;
+    }
+    if (in_word)
+        words.push_back(std::move(word));
+
+    // The last occurrence wins, like the shell's own option parsing.
+    std::string value;
+    for (std::size_t i = 0; i + 1 < words.size(); ++i)
+        if (words[i] == flag)
+            value = words[i + 1];
+    return value;
+}
+
+} // namespace cfl::queue

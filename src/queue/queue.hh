@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Filesystem-backed persistent work queue.
+ *
+ * The queue is a directory (shared between the coordinator and every
+ * worker — one machine, or a fleet over a shared filesystem) whose
+ * state is carried entirely by atomic filesystem operations, so any
+ * participant can crash at any instruction and the queue stays
+ * consistent:
+ *
+ *   tasks.jsonl   append-only audit log (enqueue/cancel/reclaim/done),
+ *                 one single-write() JSONL record per event; a torn
+ *                 trailing line is skipped with a warning on load
+ *   pending/      one <seq>-<id>.task file per claimable task,
+ *                 published by tmp-write + rename; the seq prefix
+ *                 makes a sorted directory scan FIFO
+ *   leases/       <id>.lease — owner + wall-clock deadline. A claim
+ *                 takes the lease with O_CREAT|O_EXCL (two workers can
+ *                 never both create it) and then moves the task file
+ *                 pending/ -> claimed/ with an atomic rename, so two
+ *                 workers can never hold the same task. Heartbeats
+ *                 extend the deadline by atomic lease replacement.
+ *   claimed/      task files currently owned by a live lease
+ *   done/         <id>.done — terminal DoneRecord, published by
+ *                 tmp-write + rename; completion is idempotent (a
+ *                 second completion of the same task is a no-op)
+ *   cancelled/    task files withdrawn by the coordinator
+ *   stop          marker file: workers drain and exit cleanly
+ *
+ * A lease past its deadline (its worker died or stalled) is reclaimed:
+ * the lease file is atomically stolen (renamed away, so exactly one
+ * reclaimer wins), and the task file moves claimed/ -> pending/ for
+ * the next worker. Because completed outcomes also flow into the
+ * content-addressed result cache (dispatch/result_cache.hh), a
+ * coordinator can be SIGKILLed at any point and a fresh one resumes
+ * from the queue + cache without losing — or repeating — any work.
+ *
+ * Environment: CONFLUENCE_QUEUE_DIR — defaultDir() (default
+ * ".confluence-queue").
+ *
+ * Caveats for multi-host use: lease deadlines are wall-clock unix
+ * time, so fleet clocks must agree to within a fraction of the lease;
+ * pick a lease comfortably above the heartbeat interval and rely on
+ * heartbeats — with them, expiry means worker death, not slowness.
+ */
+
+#ifndef CFL_QUEUE_QUEUE_HH
+#define CFL_QUEUE_QUEUE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sweepio/queue_codec.hh"
+
+namespace cfl::queue
+{
+
+/** A successfully claimed task, the handle for heartbeat/complete. */
+struct TaskClaim
+{
+    sweepio::TaskRecord task;
+    std::string fileName;        ///< "<seq>-<id>.task" under claimed/
+    std::string owner;
+    std::uint64_t deadlineMs = 0; ///< current lease deadline
+};
+
+class WorkQueue
+{
+  public:
+    /** Open (creating if needed) the queue at @p dir. */
+    explicit WorkQueue(std::string dir);
+    ~WorkQueue();
+
+    WorkQueue(const WorkQueue &) = delete;
+    WorkQueue &operator=(const WorkQueue &) = delete;
+
+    /** $CONFLUENCE_QUEUE_DIR, or ".confluence-queue" when unset. */
+    static std::string defaultDir();
+
+    const std::string &dir() const { return dir_; }
+
+    // --- coordinator side -------------------------------------------------
+
+    /**
+     * Publish @p task (seq is assigned here; the id must not collide
+     * with any live or completed task). Returns the stored record.
+     * Thread-safe, like every method on this class.
+     */
+    sweepio::TaskRecord enqueue(sweepio::TaskRecord task);
+
+    /** Withdraw every unclaimed task; returns how many. Tasks already
+     *  claimed are untouched (their workers are running). */
+    std::size_t cancelPending();
+
+    /** Withdraw one unclaimed task by id; false if it was not pending
+     *  (already claimed, done, or never enqueued). */
+    bool cancelTask(const std::string &id);
+
+    std::size_t pendingCount() const;
+    std::size_t claimedCount() const;
+
+    // --- worker side ------------------------------------------------------
+
+    /**
+     * Claim the oldest pending task for @p lease_sec as @p owner, or
+     * nullopt when nothing is claimable. Also clears expired leases
+     * left on pending tasks by claimers that died mid-claim.
+     */
+    std::optional<TaskClaim> claim(const std::string &owner,
+                                   unsigned lease_sec);
+
+    /**
+     * Extend @p claim's lease by @p lease_sec from now. Returns false
+     * if the lease was lost (expired and reclaimed) — the caller's
+     * work may be re-run elsewhere, but completing it stays safe:
+     * completion is idempotent and outcomes are deterministic.
+     */
+    bool heartbeat(TaskClaim &claim, unsigned lease_sec);
+
+    /**
+     * Record that @p claim's command exited with @p exit_code and
+     * release the claim. Idempotent: if the task is already done (a
+     * double completion after a lease was reclaimed), nothing is
+     * recorded again and only this claim's lease state is cleaned up.
+     */
+    void complete(const TaskClaim &claim, int exit_code);
+
+    /** Terminal record of task @p id, or nullopt while it is live. */
+    std::optional<sweepio::DoneRecord>
+    doneRecord(const std::string &id) const;
+
+    /**
+     * Re-pend every claimed task whose lease expired (or vanished
+     * mid-reclaim), and clean up claims whose done record exists but
+     * whose completer died before releasing. Returns how many tasks
+     * went back to pending/.
+     */
+    std::size_t reclaimExpired();
+
+    // --- shutdown ---------------------------------------------------------
+
+    /** Ask every worker on this queue to drain and exit. */
+    void requestStop();
+    bool stopRequested() const;
+    /** Withdraw a previous stop request — a coordinator reusing a
+     *  stopped queue directory must clear the marker, or freshly
+     *  started workers would drain and exit mid-dispatch. */
+    void clearStop();
+
+    // --- log --------------------------------------------------------------
+
+    /** Every parseable log record, torn lines skipped with a warning. */
+    std::vector<sweepio::QueueLogRecord> readLog() const;
+
+    // --- test hooks -------------------------------------------------------
+
+    using ClockFn = std::uint64_t (*)();
+    /** Replace the wall clock (unix ms) for lease-expiry tests. */
+    void setClockForTesting(ClockFn clock) { clock_ = clock; }
+    std::uint64_t nowMs() const;
+
+  private:
+    std::string logPath() const;
+    std::string leasePath(const std::string &id) const;
+    std::string donePath(const std::string &id) const;
+    std::string uniqueTmpPath(const std::string &stem);
+    void appendLog(const sweepio::QueueLogRecord &record);
+    std::optional<sweepio::LeaseRecord>
+    readLease(const std::string &id) const;
+    /** Atomically take an expired lease out of play; false if raced. */
+    bool stealLease(const std::string &id);
+
+    std::string dir_;
+    ClockFn clock_ = nullptr;
+    mutable std::mutex mutex_; ///< guards nextSeq_, logFd_, tmpCounter_
+    std::uint64_t nextSeq_ = 0;
+    int logFd_ = -1;           ///< tasks.jsonl, opened once per run
+    std::uint64_t tmpCounter_ = 0;
+};
+
+/**
+ * The value of @p flag in the /bin/sh command line @p command, with
+ * shellQuote()-style single quoting undone — how queue machinery
+ * recovers the spec/result paths embedded in a task's command (e.g.
+ * "--out"). Returns "" when the flag is absent. The *last* occurrence
+ * wins, matching how the shell's own option parsing would behave for
+ * repeated flags.
+ */
+std::string shellExtractFlagValue(const std::string &command,
+                                  const std::string &flag);
+
+} // namespace cfl::queue
+
+#endif // CFL_QUEUE_QUEUE_HH

@@ -1,12 +1,14 @@
 /**
  * @file
  * Recursive-descent parser for the subset of JSON the sweepio/dispatch
- * stores emit: objects, arrays, escape-free strings, and unsigned
- * integers. One implementation serves every line-oriented store —
- * sweep specs/results (sweepio/codec.cc) and the regression history
- * (dispatch/history.cc) — so a parsing fix propagates to all of them.
- * Malformed input is fatal(): these files are machine-written, so any
- * syntax error means corruption, not user error worth recovering from.
+ * stores emit: objects, arrays, strings (with only the two escapes
+ * escapeJsonString() produces, \" and \\), and unsigned integers. One
+ * implementation serves every line-oriented store — sweep specs/results
+ * (sweepio/codec.cc), the regression history (dispatch/history.cc), and
+ * the work-queue task/lease records (sweepio/queue_codec.cc) — so a
+ * parsing fix propagates to all of them. Malformed input is fatal():
+ * these files are machine-written, so any syntax error means
+ * corruption, not user error worth recovering from.
  */
 
 #ifndef CFL_SWEEPIO_JSON_HH
@@ -21,6 +23,30 @@
 
 namespace cfl::sweepio
 {
+
+/**
+ * @p value made safe for a double-quoted JSON string in these stores:
+ * '"' and '\\' are backslash-escaped (the only escapes MiniJsonParser
+ * accepts back). Control bytes and newlines have no escape in this
+ * dialect and would tear the line-oriented stores, so they are
+ * fatal() — writers must reject such values at record-build time.
+ */
+inline std::string
+escapeJsonString(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        if (static_cast<unsigned char>(c) < 0x20)
+            cfl_fatal("string \"%s\" contains control byte 0x%02x, "
+                      "which the line-oriented stores cannot hold",
+                      value.c_str(), static_cast<unsigned char>(c));
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
 
 class MiniJsonParser
 {
@@ -60,15 +86,25 @@ class MiniJsonParser
     std::string string()
     {
         expect('"');
-        const std::size_t start = pos_;
+        std::string out;
         while (pos_ < text_.size() && text_[pos_] != '"') {
-            if (text_[pos_] == '\\')
-                fail("escape sequences are not supported");
+            char c = text_[pos_];
+            if (c == '\\') {
+                // Only the two escapes escapeJsonString() emits; any
+                // other sequence means a foreign writer or corruption.
+                if (pos_ + 1 >= text_.size())
+                    fail("unterminated escape sequence");
+                c = text_[++pos_];
+                if (c != '"' && c != '\\')
+                    fail("unsupported escape sequence");
+            }
+            out += c;
             ++pos_;
         }
         if (pos_ >= text_.size())
             fail("unterminated string");
-        return text_.substr(start, pos_++ - start);
+        ++pos_;
+        return out;
     }
 
     std::uint64_t number()

@@ -289,6 +289,54 @@ TEST(ResultCache, ReinsertingIdenticalOutcomeDoesNotGrowTheStore)
     std::remove(store.c_str());
 }
 
+TEST(ResultCache, StoreIsOpenedOncePerRunNotPerLookupOrFlush)
+{
+    const std::string store = tmpPath("cache_opens.jsonl");
+    std::remove(store.c_str());
+
+    ResultCache::resetStoreOpensForTesting();
+    ResultCache cache(store, "v1");
+    EXPECT_EQ(ResultCache::storeOpens(), 1u); // the load
+
+    // A long-lived user (the worker daemon) looks up and flushes once
+    // per task for hours; the store must not reopen per operation.
+    for (unsigned i = 0; i < 8; ++i) {
+        const SweepOutcome outcome = someOutcome(
+            FrontendKind::Confluence,
+            allWorkloads()[i % allWorkloads().size()]);
+        (void)cache.lookup(outcome.point, outcome.seed);
+        cache.insert(outcome);
+        cache.flush();
+    }
+    // Exactly one more open: the append descriptor, taken lazily on
+    // the first flush and reused by the other seven.
+    EXPECT_EQ(ResultCache::storeOpens(), 2u);
+    std::remove(store.c_str());
+}
+
+TEST(RegressionHistory, StoreIsOpenedOncePerRunNotPerAppend)
+{
+    const std::string path = tmpPath("history_opens.jsonl");
+    std::remove(path.c_str());
+
+    RegressionHistory::resetStoreOpensForTesting();
+    RegressionHistory history(path);
+    EXPECT_EQ(RegressionHistory::storeOpens(), 1u); // the load
+    for (unsigned i = 0; i < 5; ++i) {
+        HistoryEntry entry;
+        entry.tag = "commit-" + std::to_string(i);
+        entry.geomeans = {{"confluence", 1.0 + i}};
+        history.append(entry);
+    }
+    // One more open for the append descriptor, shared by all five.
+    EXPECT_EQ(RegressionHistory::storeOpens(), 2u);
+
+    // And everything written through the shared descriptor reloads.
+    RegressionHistory back(path);
+    EXPECT_EQ(back.entries().size(), 5u);
+    std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Shard scheduling: retry, worker exclusion, no-retry classification
 // ---------------------------------------------------------------------------
@@ -460,6 +508,40 @@ TEST(SshBackend, WrapsCommandsWithBatchModeAndQuoting)
     // client would leave the sweep running as an orphan.
     EXPECT_EQ(sshWrapCommand("host1", "", "echo hi", 60),
               "ssh -o BatchMode=yes 'host1' 'timeout 60 echo hi'");
+}
+
+TEST(SshBackend, QueueDirPathsWithSpacesAndQuotesSurviveWrapping)
+{
+    // Starting a remote worker daemon against a queue directory that
+    // holds spaces and single quotes: the worker command is itself
+    // built with shellQuote, then the whole thing is quoted once more
+    // for the remote shell. Pin both layers.
+    const std::string qdir = "/sweeps/queue dir/it's";
+    const std::string worker_cmd =
+        "./confluence_worker --queue " + shellQuote(qdir);
+    EXPECT_EQ(worker_cmd,
+              "./confluence_worker --queue "
+              "'/sweeps/queue dir/it'\\''s'");
+    EXPECT_EQ(sshWrapCommand("u@h", "", worker_cmd),
+              "ssh -o BatchMode=yes 'u@h' "
+              "'./confluence_worker --queue "
+              "'\\''/sweeps/queue dir/it'\\''\\'\\'''\\''s'\\'''");
+
+    // And the remote shell must decode that back to the original
+    // argument. ssh hands its command string to the remote login
+    // shell, so run the wrapped command's remote half through a local
+    // sh the same way and observe the argv it produces.
+    const std::string probe = sshWrapCommand("ignored", "", worker_cmd);
+    const std::string remote =
+        probe.substr(std::string("ssh -o BatchMode=yes 'ignored' ")
+                         .size());
+    // remote is one sh-quoted word; eval re-parses it exactly as the
+    // remote shell would, and $3 must be the original queue dir.
+    const RunStatus status = runLocalCommand(
+        "eval set -- " + remote + "; test \"$3\" = " + shellQuote(qdir),
+        10);
+    EXPECT_TRUE(status.ok())
+        << "remote shell would not see the original queue dir";
 }
 
 // ---------------------------------------------------------------------------

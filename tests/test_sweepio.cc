@@ -10,10 +10,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
+#include "dispatch/history.hh"
+#include "dispatch/result_cache.hh"
 #include "sim/metrics.hh"
 #include "sweepio/codec.hh"
+#include "sweepio/digest.hh"
+#include "sweepio/json.hh"
+#include "sweepio/queue_codec.hh"
 #include "sweepio/shard.hh"
 
 using namespace cfl;
@@ -187,6 +193,185 @@ TEST(SweepioCodec, MalformedLineIsFatal)
                 ::testing::ExitedWithCode(1), "unknown front-end kind");
     EXPECT_EXIT(readPoints("/nonexistent/sweep/spec.jsonl"),
                 ::testing::ExitedWithCode(1), "cannot open");
+}
+
+// ---------------------------------------------------------------------------
+// Queue record codecs and JSON string escaping
+// ---------------------------------------------------------------------------
+
+TEST(SweepioQueueCodec, RecordsRoundTripIncludingEscapedStrings)
+{
+    TaskRecord task;
+    task.id = "0123456789abcdef-r11223344-a2";
+    task.seq = 42;
+    // The strings a real queue holds are shell commands: single
+    // quotes, spaces, and the occasional double quote or backslash.
+    task.command = "'/bin/x' --points '/spec dir/it'\\''s.jsonl' "
+                   "--out 'o\"u\\t.jsonl'";
+    task.result = "o\"u\\t.jsonl";
+    TaskRecord task_back = decodeTask(encodeTask(task));
+    EXPECT_EQ(task_back.id, task.id);
+    EXPECT_EQ(task_back.seq, task.seq);
+    EXPECT_EQ(task_back.command, task.command);
+    EXPECT_EQ(task_back.result, task.result);
+
+    LeaseRecord lease{"task-1", "host\\9:123", 1234567890123ull};
+    LeaseRecord lease_back = decodeLease(encodeLease(lease));
+    EXPECT_EQ(lease_back.id, lease.id);
+    EXPECT_EQ(lease_back.owner, lease.owner);
+    EXPECT_EQ(lease_back.deadlineMs, lease.deadlineMs);
+
+    DoneRecord done{"task-1", "worker\"2", 137};
+    DoneRecord done_back = decodeDone(encodeDone(done));
+    EXPECT_EQ(done_back.id, done.id);
+    EXPECT_EQ(done_back.owner, done.owner);
+    EXPECT_EQ(done_back.exitCode, done.exitCode);
+
+    for (const char *op : {"enqueue", "cancel", "reclaim", "done"}) {
+        QueueLogRecord record;
+        record.op = op;
+        record.task = task;
+        record.done = done;
+        QueueLogRecord back = decodeQueueLog(encodeQueueLog(record));
+        EXPECT_EQ(back.op, record.op);
+        if (back.op == "done") {
+            // A done line carries the DoneRecord; task.id mirrors it.
+            EXPECT_EQ(back.task.id, done.id);
+            EXPECT_EQ(back.done.owner, done.owner);
+            EXPECT_EQ(back.done.exitCode, done.exitCode);
+        } else {
+            EXPECT_EQ(back.task.id, task.id);
+        }
+        if (back.op == "enqueue") {
+            EXPECT_EQ(back.task.command, task.command);
+        }
+    }
+
+    // Control bytes have no escape in this dialect; writers must die
+    // rather than wedge the store.
+    EXPECT_EXIT((void)escapeJsonString("line1\nline2"),
+                ::testing::ExitedWithCode(1), "control byte");
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-style truncation sweep: every strict prefix of every store line
+// must be rejected gracefully, never crash, never parse.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** Representative lines of every store dialect MiniJsonParser reads. */
+std::vector<std::string>
+storeLines()
+{
+    SweepOutcome outcome;
+    outcome.point = {FrontendKind::Confluence, WorkloadId::DssQry,
+                     quickScale()};
+    outcome.seed = 0x1234567890abcdefull;
+    CoreMetrics core;
+    core.retired = 123456;
+    core.cycles = 654321;
+    outcome.metrics.cores.push_back(core);
+
+    TaskRecord task;
+    task.id = "deadbeef-r0-a0";
+    task.seq = 7;
+    task.command = "'/b in/sweep' --points 'it'\\''s.jsonl' --out "
+                   "'o\"ut\\.jsonl'";
+    task.result = "o\"ut\\.jsonl";
+
+    return {
+        encodeCacheEntry({std::string(16, 'a'), outcome}),
+        encodeOutcome(outcome),
+        encodePoint(outcome.point),
+        encodeTask(task),
+        encodeLease({"deadbeef-r0-a0", "host:42", 99999999ull}),
+        encodeDone({"deadbeef-r0-a0", "host:42", 4}),
+        encodeQueueLog({"enqueue", task, {}}),
+        // A history line in the documented dispatch/history.hh format.
+        "{\"tag\":\"commit-a\",\"entries\":[{\"kind\":\"confluence\","
+        "\"geomean_bits\":4607863817060079104,"
+        "\"geomean\":\"1.2175843611061371\"}]}",
+    };
+}
+
+} // namespace
+
+TEST(SweepioFuzz, EveryTruncationOffsetIsRejectedWithoutCrashing)
+{
+    for (const std::string &line : storeLines()) {
+        for (std::size_t cut = 0; cut < line.size(); ++cut) {
+            const std::string torn = line.substr(0, cut);
+            // Throw-mode parsing of a strict prefix must fail cleanly:
+            // no crash, no accidental acceptance (every line ends with
+            // structure a prefix cannot close).
+            CacheEntry entry;
+            EXPECT_FALSE(tryDecodeCacheEntry(torn, &entry))
+                << "cache entry accepted a torn line at offset " << cut;
+            TaskRecord task;
+            EXPECT_FALSE(tryDecodeTask(torn, &task))
+                << "task accepted a torn line at offset " << cut;
+            LeaseRecord lease;
+            EXPECT_FALSE(tryDecodeLease(torn, &lease))
+                << "lease accepted a torn line at offset " << cut;
+            DoneRecord done;
+            EXPECT_FALSE(tryDecodeDone(torn, &done))
+                << "done accepted a torn line at offset " << cut;
+            QueueLogRecord log;
+            EXPECT_FALSE(tryDecodeQueueLog(torn, &log))
+                << "queue log accepted a torn line at offset " << cut;
+        }
+    }
+    // The untruncated lines do parse in their own dialects.
+    CacheEntry entry;
+    EXPECT_TRUE(tryDecodeCacheEntry(storeLines()[0], &entry));
+    TaskRecord task;
+    EXPECT_TRUE(tryDecodeTask(storeLines()[3], &task));
+}
+
+TEST(SweepioFuzz, StoreLoadersSkipTruncatedLinesWithAWarning)
+{
+    // Non-throw-mode degradation: a store file holding a good line
+    // plus a truncation of another line must load the good entry and
+    // skip the torn one — at *every* truncation offset.
+    SweepOutcome outcome;
+    outcome.point = {FrontendKind::Baseline, WorkloadId::WebFrontend,
+                     quickScale()};
+    outcome.seed = 99;
+    CoreMetrics core;
+    core.retired = 10;
+    core.cycles = 20;
+    outcome.metrics.cores.push_back(core);
+    const std::string good = encodeCacheEntry(
+        {pointDigest(outcome.point, outcome.seed, "v1"), outcome});
+
+    const std::string store = tmpPath("fuzz_store.jsonl");
+    for (std::size_t cut = 0; cut < good.size(); ++cut) {
+        {
+            std::ofstream out(store, std::ios::trunc);
+            out << good << '\n' << good.substr(0, cut);
+        }
+        cfl::dispatch::ResultCache cache(store, "v1");
+        EXPECT_EQ(cache.size(), 1u) << "offset " << cut;
+    }
+    std::remove(store.c_str());
+
+    // Same for the regression history.
+    const std::string hist_line =
+        "{\"tag\":\"commit-a\",\"entries\":[{\"kind\":\"confluence\","
+        "\"geomean_bits\":4607863817060079104,"
+        "\"geomean\":\"1.2175843611061371\"}]}";
+    const std::string hist = tmpPath("fuzz_history.jsonl");
+    for (std::size_t cut = 0; cut < hist_line.size(); ++cut) {
+        {
+            std::ofstream out(hist, std::ios::trunc);
+            out << hist_line << '\n' << hist_line.substr(0, cut);
+        }
+        cfl::dispatch::RegressionHistory history(hist);
+        EXPECT_EQ(history.entries().size(), 1u) << "offset " << cut;
+    }
+    std::remove(hist.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -15,14 +15,27 @@
  * Modes (one per invocation):
  *
  *   confluence_dispatch --points spec.jsonl --out merged.jsonl
- *       [--backend local|ssh] [--workers N] [--hosts h1,h2,..]
- *       [--remote-dir DIR] [--shards M] [--timeout SEC] [--retries K]
- *       [--sweep-bin PATH] [--cache FILE | --no-cache]
- *       [--code-version TAG] [--work-dir DIR]
+ *       [--backend local|ssh|queue] [--workers N] [--hosts h1,h2,..]
+ *       [--remote-dir DIR] [--queue-dir DIR] [--shards M]
+ *       [--timeout SEC] [--retries K] [--sweep-bin PATH]
+ *       [--cache FILE | --no-cache] [--code-version TAG]
+ *       [--work-dir DIR]
  *     Dispatch the spec and write the merged result. Prints one
  *     machine-readable stats line to stdout:
  *       dispatch total_points=.. cache_hits=.. cache_misses=..
  *                evaluated_points=.. shards=.. retries=..
+ *     --backend queue enqueues cache-miss shards into a persistent
+ *     work queue (src/queue; --queue-dir, default $CONFLUENCE_QUEUE_DIR)
+ *     that confluence_worker daemons pull from. The coordinator is
+ *     restartable: before dispatching it reconciles the queue —
+ *     cancels unclaimed tasks from a dead predecessor and waits out
+ *     claimed ones (their outcomes land in the result cache) — so a
+ *     SIGKILLed coordinator can simply be rerun and produces the same
+ *     merged bytes without re-evaluating a single shard.
+ *
+ *   confluence_dispatch --queue-dir DIR --stop-workers
+ *     Drop the queue's stop marker: every worker daemon drains and
+ *     exits 0.
  *
  *   confluence_dispatch --history history.jsonl --result merged.jsonl
  *       --tag TAG [--threshold FRAC]
@@ -32,21 +45,28 @@
  *     regressed run never becomes the next comparison baseline.
  *
  * Environment:
- *   CONFLUENCE_DISPATCH_FAULT=shard:K  poison shard K's first attempt
- *       (the child dies before writing its result; the retry is clean) —
- *       CI's fault-injection hook.
+ *   CONFLUENCE_DISPATCH_FAULT  fault-injection hooks for CI:
+ *       shard:K       poison shard K's first attempt (the child dies
+ *                     before writing its result; the retry is clean);
+ *       kill-after:K  (queue backend only) SIGKILL this coordinator
+ *                     the moment the Kth task completion is observed —
+ *                     the crash the queue-sweep CI job restarts from.
+ *   CONFLUENCE_QUEUE_DIR  default --queue-dir for the queue backend.
  *   CONFLUENCE_CACHE_DIR / CONFLUENCE_CODE_VERSION  default cache
  *       location and cache key code-version tag (see --cache /
  *       --code-version).
  *
  * Exit codes: 0 success, 1 fatal error (bad configuration, shard
- * exhausted its retries), 2 usage, 5 regression threshold exceeded.
+ * exhausted its retries), 2 usage, 5 regression threshold exceeded;
+ * 137 (SIGKILL) when the kill-after fault fires.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
@@ -55,6 +75,8 @@
 #include "dispatch/dispatcher.hh"
 #include "dispatch/history.hh"
 #include "dispatch/result_cache.hh"
+#include "queue/backend.hh"
+#include "queue/queue.hh"
 #include "sweepio/codec.hh"
 
 using namespace cfl;
@@ -72,29 +94,18 @@ usage(const char *argv0)
         stderr,
         "usage:\n"
         "  %s --points spec.jsonl --out merged.jsonl\n"
-        "     [--backend local|ssh] [--workers N] [--hosts h1,h2,..]\n"
-        "     [--remote-dir DIR] [--shards M] [--timeout SEC]\n"
-        "     [--retries K] [--sweep-bin PATH]\n"
-        "     [--cache FILE | --no-cache] [--code-version TAG]\n"
-        "     [--work-dir DIR]\n"
+        "     [--backend local|ssh|queue] [--workers N]\n"
+        "     [--hosts h1,h2,..] [--remote-dir DIR] [--queue-dir DIR]\n"
+        "     [--shards M] [--timeout SEC] [--retries K]\n"
+        "     [--sweep-bin PATH] [--cache FILE | --no-cache]\n"
+        "     [--code-version TAG] [--work-dir DIR]\n"
+        "  %s --queue-dir DIR --stop-workers\n"
         "  %s --history history.jsonl --result merged.jsonl --tag TAG\n"
         "     [--threshold FRAC]\n"
         "exit codes: 0 ok, 1 fatal, 2 usage, 5 regression over "
         "threshold\n",
-        argv0, argv0);
+        argv0, argv0, argv0);
     std::exit(kExitUsage);
-}
-
-/** Parse an unsigned decimal flag value; fatal() on anything else. */
-unsigned
-parseUnsigned(const std::string &flag, const std::string &text)
-{
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0' || text[0] == '-')
-        cfl_fatal("%s needs an unsigned integer, got \"%s\"",
-                  flag.c_str(), text.c_str());
-    return static_cast<unsigned>(v);
 }
 
 /** Parse a decimal flag value; fatal() on anything else. */
@@ -157,6 +168,37 @@ historyMode(const std::string &history_path,
     return 0;
 }
 
+/**
+ * Bring a queue left behind by a dead coordinator back to a clean
+ * slate before dispatching into it: cancel every unclaimed task (this
+ * coordinator will re-partition whatever is still missing from the
+ * cache), then wait for claimed tasks to finish or expire — their
+ * workers fold completed outcomes into the result cache, so the cache
+ * opened *after* this returns sees all surviving work. Reclaimed
+ * expired tasks are cancelled too, not rerun: their points are simply
+ * cache misses for the fresh dispatch.
+ */
+void
+reconcileQueue(queue::WorkQueue &wq)
+{
+    std::size_t cancelled = wq.cancelPending();
+    while (true) {
+        wq.reclaimExpired();
+        cancelled += wq.cancelPending();
+        const std::size_t claimed = wq.claimedCount();
+        if (claimed == 0)
+            break;
+        std::fprintf(stderr,
+                     "reconcile: waiting for %zu in-flight task(s) "
+                     "from a previous coordinator\n", claimed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
+    if (cancelled != 0)
+        std::fprintf(stderr,
+                     "reconcile: cancelled %zu stale pending task(s)\n",
+                     cancelled);
+}
+
 } // namespace
 
 int
@@ -166,6 +208,8 @@ main(int argc, char **argv)
     std::string backend_name = "local";
     unsigned workers = 2;
     std::string hosts_list, remote_dir;
+    std::string queue_dir = queue::WorkQueue::defaultDir();
+    bool stop_workers = false;
     unsigned shards = 0, timeout_sec = 0, retries = 2;
     std::string sweep_bin = defaultSweepBin(argv[0]);
     std::string cache_path = dispatch::ResultCache::defaultStorePath();
@@ -191,17 +235,21 @@ main(int argc, char **argv)
         else if (arg == "--backend")
             backend_name = value();
         else if (arg == "--workers")
-            workers = parseUnsigned(arg, value());
+            workers = parseUnsignedFlag(arg, value());
         else if (arg == "--hosts")
             hosts_list = value();
         else if (arg == "--remote-dir")
             remote_dir = value();
+        else if (arg == "--queue-dir")
+            queue_dir = value();
+        else if (arg == "--stop-workers")
+            stop_workers = true;
         else if (arg == "--shards")
-            shards = parseUnsigned(arg, value());
+            shards = parseUnsignedFlag(arg, value());
         else if (arg == "--timeout")
-            timeout_sec = parseUnsigned(arg, value());
+            timeout_sec = parseUnsignedFlag(arg, value());
         else if (arg == "--retries")
-            retries = parseUnsigned(arg, value());
+            retries = parseUnsignedFlag(arg, value());
         else if (arg == "--sweep-bin")
             sweep_bin = value();
         else if (arg == "--cache")
@@ -224,6 +272,15 @@ main(int argc, char **argv)
             usage(argv[0]);
     }
 
+    if (stop_workers) {
+        if (!points_path.empty() || !history_path.empty())
+            usage(argv[0]);
+        queue::WorkQueue wq(queue_dir);
+        wq.requestStop();
+        std::fprintf(stderr, "stop marker dropped in %s; workers will "
+                     "drain and exit\n", wq.dir().c_str());
+        return 0;
+    }
     if (!history_path.empty()) {
         if (result_path.empty() || tag.empty() || !points_path.empty())
             usage(argv[0]);
@@ -232,6 +289,16 @@ main(int argc, char **argv)
     if (points_path.empty() || out_path.empty())
         usage(argv[0]);
 
+    std::string fault;
+    if (const char *fault_env = std::getenv("CONFLUENCE_DISPATCH_FAULT"))
+        if (*fault_env != '\0')
+            fault = fault_env;
+    const std::string kill_after_prefix = "kill-after:";
+    const bool kill_after_fault =
+        fault.compare(0, kill_after_prefix.size(), kill_after_prefix) ==
+        0;
+
+    std::unique_ptr<queue::WorkQueue> wq;
     std::unique_ptr<dispatch::WorkerBackend> backend;
     if (backend_name == "local") {
         if (workers == 0)
@@ -242,20 +309,48 @@ main(int argc, char **argv)
             cfl_fatal("--backend ssh needs --hosts h1,h2,..");
         backend = std::make_unique<dispatch::SshBackend>(
             splitList(hosts_list), remote_dir);
+    } else if (backend_name == "queue") {
+        if (workers == 0)
+            cfl_fatal("--workers must be >= 1");
+        wq = std::make_unique<queue::WorkQueue>(queue_dir);
+        // A stale stop marker from a drained earlier run would make
+        // fresh workers exit mid-dispatch; this run wants them alive.
+        wq->clearStop();
+        // Reconcile *before* the cache loads below, so every outcome a
+        // previous coordinator's in-flight tasks produce is visible to
+        // this run's cache lookups.
+        reconcileQueue(*wq);
+        queue::QueueBackend::Options qopts;
+        qopts.slots = workers;
+        if (kill_after_fault)
+            qopts.killAfterCompletions = parseUnsignedFlag(
+                "kill-after fault",
+                fault.substr(kill_after_prefix.size()));
+        backend = std::make_unique<queue::QueueBackend>(*wq, qopts);
     } else {
-        cfl_fatal("unknown backend \"%s\" (local|ssh)",
+        cfl_fatal("unknown backend \"%s\" (local|ssh|queue)",
                   backend_name.c_str());
     }
+    if (kill_after_fault && backend_name != "queue")
+        cfl_fatal("the kill-after fault needs --backend queue");
 
     dispatch::DispatchOptions opts;
     opts.sweepBin = sweep_bin;
-    opts.workDir = work_dir.empty() ? out_path + ".work" : work_dir;
+    if (!work_dir.empty())
+        opts.workDir = work_dir;
+    else if (backend_name == "queue")
+        opts.workDir = queue_dir + "/work"; // shared with the workers
+    else
+        opts.workDir = out_path + ".work";
     opts.shards = shards;
     opts.retry.maxAttempts = retries + 1;
     opts.retry.timeoutSec = timeout_sec;
-    if (const char *fault = std::getenv("CONFLUENCE_DISPATCH_FAULT"))
-        if (*fault != '\0')
-            opts.fault = fault;
+    // In queue mode the workers own cache write-back (that is what
+    // makes a coordinator kill lossless); everywhere else the
+    // coordinator stores fresh outcomes itself.
+    opts.cacheWriteBack = backend_name != "queue";
+    if (!fault.empty() && !kill_after_fault)
+        opts.fault = fault;
 
     std::unique_ptr<dispatch::ResultCache> cache;
     if (!no_cache)
