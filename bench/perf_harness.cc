@@ -21,16 +21,21 @@
  * single digits.
  *
  * Usage:
- *   perf_harness [--smoke] [--iters N] [--out PATH]
+ *   perf_harness [--smoke] [--batched] [--iters N] [--out PATH]
  *                [--compare BASELINE [--min-ratio R]]
  *                [--dispatch SWEEP_BIN [--dispatch-workers N]]
  *                [--queue WORKER_BIN [--queue-workers N]]
  *
  *   --smoke     small point grid and budgets (CI-sized)
+ *   --batched   extra timed phase: the same sweep through the batched
+ *               trace-major runner (sim/batched), verified bit-identical
+ *               against the scalar in-process sweep before it is timed
  *   --iters     timing iterations per phase, best-of-N (default 3)
  *   --out       JSON output path (default BENCH_sweep.json)
  *   --compare   fail (exit 1) if cached points/sec drops below
- *               R x the baseline file's value (default R = 0.8)
+ *               R x the baseline file's value (default R = 0.8); when
+ *               the baseline records a "batched" phase and --batched
+ *               ran, that phase is gated the same way
  *   --dispatch  third timed phase: the same sweep through the shard
  *               dispatcher (src/dispatch) on a local subprocess pool
  *               running SWEEP_BIN, verified bit-identical against the
@@ -66,6 +71,7 @@
 #include "dispatch/dispatcher.hh"
 #include "queue/backend.hh"
 #include "queue/queue.hh"
+#include "sim/batched.hh"
 #include "sim/presets.hh"
 #include "sim/sweep.hh"
 #include "sweepio/codec.hh"
@@ -146,6 +152,7 @@ struct PhaseResult
 struct HarnessConfig
 {
     bool smoke = false;
+    bool batched = false;
     unsigned iters = 3;
     std::string outPath = "BENCH_sweep.json";
     std::string comparePath;
@@ -307,11 +314,42 @@ harnessMain(const HarnessConfig &cfg)
                  cached.seconds, cached.pointsPerSec, cached.minstsPerSec,
                  warm_seconds, allocs_per_kinst);
 
-    // One in-process reference serves both multi-process phases: the
-    // harness has already asserted results are run-to-run identical.
+    // One in-process scalar reference serves the batched and
+    // multi-process phases: the harness has already asserted results
+    // are run-to-run identical.
     SweepResult reference;
-    if (!cfg.dispatchSweepBin.empty() || !cfg.queueWorkerBin.empty())
+    if (cfg.batched || !cfg.dispatchSweepBin.empty() ||
+        !cfg.queueWorkerBin.empty())
         reference = runTimingSweep(points, config, engine);
+
+    // Batched phase (opt-in): the same sweep through the trace-major
+    // batched runner, cache warm. Bit-identity with the scalar path is
+    // asserted on every timed iteration before the number is kept.
+    PhaseResult batched;
+    bool have_batched = false;
+    if (cfg.batched) {
+        batched.seconds = 1e300;
+        for (unsigned i = 0; i < cfg.iters; ++i) {
+            const auto start = Clock::now();
+            const SweepResult merged =
+                runBatchedSweep(points, config, engine);
+            const std::chrono::duration<double> elapsed =
+                Clock::now() - start;
+            cfl_assert(sweepio::encodeResult(merged) ==
+                           sweepio::encodeResult(reference),
+                       "batched sweep diverged from scalar sweep");
+            if (elapsed.count() < batched.seconds)
+                batched.seconds = elapsed.count();
+        }
+        batched.geomean = live.geomean;
+        batched.pointsPerSec = points.size() / batched.seconds;
+        batched.minstsPerSec = total_minsts / batched.seconds;
+        have_batched = true;
+        std::fprintf(stderr, "  batched: %7.2fs  %6.2f points/s  %7.2f "
+                     "Minsts/s  (bit-identical to scalar)\n",
+                     batched.seconds, batched.pointsPerSec,
+                     batched.minstsPerSec);
+    }
 
     // Phase 3 (opt-in): the same sweep through the shard dispatcher on
     // a local subprocess pool — the fleet path. Untimed correctness
@@ -409,11 +447,16 @@ harnessMain(const HarnessConfig &cfg)
                      queued.minstsPerSec, cfg.queueWorkers);
     }
 
-    std::uint64_t cache_hits = 0, cache_misses = 0, cache_bypasses = 0;
+    std::uint64_t cache_lookups = 0, cache_hits = 0, cache_misses = 0,
+                  cache_bypasses = 0;
 #if CFL_HAS_TRACE_CACHE
+    cache_lookups = traceCache().lookups();
     cache_hits = traceCache().hits();
     cache_misses = traceCache().misses();
     cache_bypasses = traceCache().bypasses();
+    cfl_assert(cache_hits + cache_misses + cache_bypasses ==
+                   cache_lookups,
+               "trace-cache counters do not partition lookups");
 #endif
 
     std::ostringstream json;
@@ -434,6 +477,12 @@ harnessMain(const HarnessConfig &cfg)
          << ", \"minsts_per_sec\": " << cached.minstsPerSec << "},\n"
          << "  \"cache_speedup\": "
          << cached.pointsPerSec / live.pointsPerSec << ",\n";
+    if (have_batched)
+        json << "  \"batched\": {\"seconds\": " << batched.seconds
+             << ", \"points_per_sec\": " << batched.pointsPerSec
+             << ", \"minsts_per_sec\": " << batched.minstsPerSec
+             << ", \"speedup_vs_cached\": "
+             << batched.pointsPerSec / cached.pointsPerSec << "},\n";
     if (have_dispatched)
         json << "  \"dispatched\": {\"seconds\": " << dispatched.seconds
              << ", \"points_per_sec\": " << dispatched.pointsPerSec
@@ -447,7 +496,8 @@ harnessMain(const HarnessConfig &cfg)
     json
          << "  \"warm_seconds\": " << warm_seconds << ",\n"
          << "  \"allocs_per_kinst\": " << allocs_per_kinst << ",\n"
-         << "  \"trace_cache\": {\"hits\": " << cache_hits
+         << "  \"trace_cache\": {\"lookups\": " << cache_lookups
+         << ", \"hits\": " << cache_hits
          << ", \"misses\": " << cache_misses
          << ", \"bypasses\": " << cache_bypasses << "}\n"
          << "}\n";
@@ -479,19 +529,35 @@ harnessMain(const HarnessConfig &cfg)
         }
         std::stringstream buf;
         buf << in.rdbuf();
-        const double base =
-            extractNumber(buf.str(), "cached", "points_per_sec");
-        const double floor = base * cfg.minRatio;
-        std::fprintf(stderr,
-                     "compare: %.2f points/s vs baseline %.2f "
-                     "(floor %.2f)\n",
-                     cached.pointsPerSec, base, floor);
-        if (cached.pointsPerSec < floor) {
-            std::fprintf(stderr, "FAIL: throughput regressed more than "
-                         "%.0f%% vs %s\n", (1.0 - cfg.minRatio) * 100.0,
-                         cfg.comparePath.c_str());
+        const std::string baseline = buf.str();
+
+        const auto gate = [&](const char *phase, double measured) {
+            const double base =
+                extractNumber(baseline, phase, "points_per_sec");
+            const double floor = base * cfg.minRatio;
+            std::fprintf(stderr,
+                         "compare %s: %.2f points/s vs baseline %.2f "
+                         "(floor %.2f)\n",
+                         phase, measured, base, floor);
+            if (measured < floor) {
+                std::fprintf(stderr,
+                             "FAIL: %s throughput regressed more than "
+                             "%.0f%% vs %s\n", phase,
+                             (1.0 - cfg.minRatio) * 100.0,
+                             cfg.comparePath.c_str());
+                return false;
+            }
+            return true;
+        };
+
+        if (!gate("cached", cached.pointsPerSec))
             return 1;
-        }
+        // Gate the batched phase only when both sides have it, so old
+        // baselines keep working and --batched-less runs stay green.
+        if (have_batched &&
+            baseline.find("\"batched\"") != std::string::npos &&
+            !gate("batched", batched.pointsPerSec))
+            return 1;
     }
     return 0;
 }
@@ -511,6 +577,8 @@ main(int argc, char **argv)
         };
         if (arg == "--smoke")
             cfg.smoke = true;
+        else if (arg == "--batched")
+            cfg.batched = true;
         else if (arg == "--iters")
             cfg.iters = static_cast<unsigned>(std::stoul(value()));
         else if (arg == "--out")

@@ -54,7 +54,7 @@ struct AirBtbParams
 };
 
 /** Block-based BTB with eager insertion. */
-class AirBtb : public Btb
+class AirBtb final : public Btb
 {
   public:
     /** @param image code image the private predecoder scans

@@ -29,7 +29,7 @@ struct ConventionalBtbParams
 };
 
 /** Conventional per-branch-PC BTB. */
-class ConventionalBtb : public Btb
+class ConventionalBtb final : public Btb
 {
   public:
     explicit ConventionalBtb(const ConventionalBtbParams &params,

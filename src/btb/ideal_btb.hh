@@ -14,7 +14,7 @@ namespace cfl
 {
 
 /** Always-hit oracle-backed BTB (upper bound). */
-class PerfectBtb : public Btb
+class PerfectBtb final : public Btb
 {
   public:
     PerfectBtb() : Btb("btb.perfect") {}

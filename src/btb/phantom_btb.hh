@@ -129,7 +129,7 @@ class PhantomSharedHistory
 };
 
 /** Per-core PhantomBTB front end (first level + prefetch buffer). */
-class PhantomBtb : public Btb
+class PhantomBtb final : public Btb
 {
   public:
     /** @param history the workload-shared virtualized second level

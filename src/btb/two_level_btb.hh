@@ -27,7 +27,7 @@ struct TwoLevelBtbParams
 };
 
 /** Hierarchical (filter + backing) BTB. */
-class TwoLevelBtb : public Btb
+class TwoLevelBtb final : public Btb
 {
   public:
     explicit TwoLevelBtb(const TwoLevelBtbParams &params,

@@ -1,10 +1,49 @@
 #include "confluence/cmp.hh"
 
+#include "btb/ideal_btb.hh"
 #include "common/logging.hh"
 #include "trace/trace_cache.hh"
 
 namespace cfl
 {
+
+namespace
+{
+
+/** Single-core measurement loop with the BTB's concrete type baked in
+ *  (see Frontend::runUntil). */
+using CoreRunner = void (*)(Frontend &, Counter);
+
+template <typename BtbT>
+void
+runTyped(Frontend &fe, Counter target)
+{
+    fe.runUntil<BtbT>(target);
+}
+
+/**
+ * Resolve the typed runner for a core's actual BTB. The compile-time
+ * table covers every type the factory builds; a BTB none of the casts
+ * recognize (e.g. a test double) falls back to the virtual-dispatch
+ * runner, which is bit-identical, just slower.
+ */
+CoreRunner
+pickRunner(const Btb &btb)
+{
+    if (dynamic_cast<const ConventionalBtb *>(&btb) != nullptr)
+        return &runTyped<ConventionalBtb>;
+    if (dynamic_cast<const TwoLevelBtb *>(&btb) != nullptr)
+        return &runTyped<TwoLevelBtb>;
+    if (dynamic_cast<const PhantomBtb *>(&btb) != nullptr)
+        return &runTyped<PhantomBtb>;
+    if (dynamic_cast<const AirBtb *>(&btb) != nullptr)
+        return &runTyped<AirBtb>;
+    if (dynamic_cast<const PerfectBtb *>(&btb) != nullptr)
+        return &runTyped<PerfectBtb>;
+    return &runTyped<Btb>;
+}
+
+} // namespace
 
 double
 CmpMetrics::meanIpc() const
@@ -84,6 +123,15 @@ Cmp::Cmp(FrontendKind kind, WorkloadId workload, const SystemConfig &config,
 void
 Cmp::runUntilRetired(Counter target)
 {
+    if (cores_.size() == 1) {
+        // One core leaves no cross-core LLC interleaving to preserve,
+        // so the whole loop can run through the typed fast path
+        // (devirtualized BPU walk + quiet-window skip).
+        CoreSim &core = *cores_[0];
+        pickRunner(core.btb())(core.frontend(), target);
+        return;
+    }
+
     // Lockstep round-robin: one cycle per core per global cycle
     // (Section 4.1's round-robin interleaving).
     while (true) {
@@ -100,7 +148,7 @@ Cmp::runUntilRetired(Counter target)
 }
 
 void
-Cmp::attachSharedTraces(Counter total_insts)
+Cmp::prepareTraces(Counter total_insts)
 {
     // The BPU walks the oracle stream ahead of retirement by at most the
     // fetch queue, the in-progress region, the decode buffer, and one
@@ -121,20 +169,25 @@ Cmp::attachSharedTraces(Counter total_insts)
     }
 }
 
-CmpMetrics
-Cmp::run(Counter warmup_insts, Counter measure_insts)
+void
+Cmp::runWarmup(Counter warmup_insts)
 {
-    attachSharedTraces(warmup_insts + measure_insts);
-
-    // Warmup: fill caches, predictors, and prefetcher history.
     if (warmup_insts > 0)
         runUntilRetired(warmup_insts);
+}
 
+void
+Cmp::runMeasurement(Counter measure_insts)
+{
     for (auto &core : cores_)
         core->beginMeasurement();
 
     runUntilRetired(measure_insts);
+}
 
+CmpMetrics
+Cmp::collectMetrics()
+{
     CmpMetrics out;
     for (auto &core : cores_) {
         CoreMetrics m;
@@ -156,6 +209,15 @@ Cmp::run(Counter warmup_insts, Counter measure_insts)
         out.cores.push_back(m);
     }
     return out;
+}
+
+CmpMetrics
+Cmp::run(Counter warmup_insts, Counter measure_insts)
+{
+    prepareTraces(warmup_insts + measure_insts);
+    runWarmup(warmup_insts);
+    runMeasurement(measure_insts);
+    return collectMetrics();
 }
 
 } // namespace cfl

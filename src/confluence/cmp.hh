@@ -80,8 +80,36 @@ class Cmp
     /**
      * Run @p warmup_insts then measure @p measure_insts retired
      * instructions per core; returns per-core and aggregate metrics.
+     * Exactly prepareTraces(w + m); runWarmup(w); runMeasurement(m);
+     * return collectMetrics().
      */
     CmpMetrics run(Counter warmup_insts, Counter measure_insts);
+
+    // Stepping API: run() split into its four phases so batched sweep
+    // drivers (sim/batched.cc) can hoist trace acquisition out of the
+    // per-point loop and drive points individually. Calling the four
+    // phases in order is bit-identical to run().
+
+    /**
+     * Predecode phase: swap each core's engine onto a shared replay
+     * trace sized for @p total_insts retired instructions, when the
+     * trace cache can serve one. Engines already replaying (e.g. a
+     * trace attached directly by a batched driver) are left alone, so
+     * pre-attaching a longer shared buffer is safe: results do not
+     * depend on trace-buffer length, only on the generated stream.
+     */
+    void prepareTraces(Counter total_insts);
+
+    /** Warm caches, predictors, and prefetcher history for
+     *  @p warmup_insts retired instructions per core. */
+    void runWarmup(Counter warmup_insts);
+
+    /** Reset measurement counters, then run @p measure_insts retired
+     *  instructions per core. */
+    void runMeasurement(Counter measure_insts);
+
+    /** Extract per-core metrics for the measured window. */
+    CmpMetrics collectMetrics();
 
     CoreSim &core(unsigned i) { return *cores_[i]; }
     unsigned numCores() const
@@ -93,10 +121,6 @@ class Cmp
   private:
     /** Tick every unfinished core until each retires @p target. */
     void runUntilRetired(Counter target);
-
-    /** Swap each core's engine onto a shared replay trace sized for the
-     *  run, when the trace cache can serve one. */
-    void attachSharedTraces(Counter total_insts);
 
     SystemConfig config_;
     WorkloadId workload_;

@@ -68,117 +68,9 @@ Bpu::resolveMisfetchedBranch(const DynInst &inst, Cycle now)
 BpuResult
 Bpu::predictNextRegion(Cycle now)
 {
-    BpuResult out;
-    out.region.startPc = engine_.peek().pc;
-
-    while (true) {
-        const DynInst inst = engine_.next();
-        ++out.region.numInsts;
-        instsStat_->inc();
-
-        if (!inst.isBranch()) {
-            if (out.region.numInsts >= params_.maxRegionInsts) {
-                // Region cap: continue sequentially next cycle.
-                regionCapEndsStat_->inc();
-                return out;
-            }
-            continue;
-        }
-
-        branchesStat_->inc();
-        ++out.region.numBranches;
-        if (inst.taken)
-            takenLookupsStat_->inc();
-
-        const BtbLookupResult btb = btb_.lookup(inst, now);
-        out.stall += btb.stallCycles;
-        if (btb.stallCycles > 0)
-            btbL2StallStat_->inc(btb.stallCycles);
-
-        if (!btb.hit) {
-            if (!inst.taken) {
-                // The BTB cannot even identify this instruction as a
-                // branch, so fetch falls through — which is correct.
-                // Decode still trains the direction predictor.
-                if (inst.kind == BranchKind::Cond)
-                    direction_.update(inst.pc, inst.taken);
-                if (out.region.numInsts >= params_.maxRegionInsts) {
-                    regionCapEndsStat_->inc();
-                    return out;
-                }
-                continue;
-            }
-
-            // Actually-taken branch absent from the BTB: the sequential
-            // fetch region is wrong (misfetch). Paper Section 2.1: this
-            // is the BTB-miss event.
-            btbTakenMissesStat_->inc();
-            misfetchesStat_->inc();
-            resolveMisfetchedBranch(inst, now);
-            out.misfetch = true;
-            out.region.deliveryBubble += params_.misfetchPenalty;
-            return out;
-        }
-
-        // BTB hit: predict with the full prediction unit.
-        switch (inst.kind) {
-          case BranchKind::Cond: {
-            const bool predicted_taken = direction_.predict(inst.pc);
-            direction_.update(inst.pc, inst.taken);
-            if (predicted_taken != inst.taken) {
-                condMispredictsStat_->inc();
-                out.mispredict = true;
-                out.region.deliveryBubble += params_.mispredictPenalty;
-                return out;
-            }
-            if (inst.taken) {
-                // Correctly predicted taken; direct target from the BTB
-                // entry is exact for PC-relative branches.
-                return out;
-            }
-            // Correctly predicted not-taken: keep walking.
-            if (out.region.numInsts >= params_.maxRegionInsts) {
-                regionCapEndsStat_->inc();
-                return out;
-            }
-            continue;
-          }
-
-          case BranchKind::Uncond:
-            return out;
-
-          case BranchKind::Call:
-            ras_.push(inst.fallThrough());
-            return out;
-
-          case BranchKind::Return: {
-            const Addr predicted = ras_.pop();
-            if (predicted != inst.target) {
-                rasMispredictsStat_->inc();
-                out.mispredict = true;
-                out.region.deliveryBubble += params_.mispredictPenalty;
-            }
-            return out;
-          }
-
-          case BranchKind::IndJump:
-          case BranchKind::IndCall: {
-            const Addr predicted = itc_.predict(inst.pc);
-            itc_.update(inst.pc, inst.target);
-            if (isCall(inst.kind))
-                ras_.push(inst.fallThrough());
-            if (predicted != inst.target) {
-                indirectMispredictsStat_->inc();
-                out.mispredict = true;
-                out.region.deliveryBubble += params_.mispredictPenalty;
-            }
-            return out;
-          }
-
-          case BranchKind::None:
-            cfl_panic("branch with kind None");
-        }
-    }
+    // Virtual-dispatch entry point; the typed core runner calls
+    // predictNextRegionT<ConcreteBtb> directly.
+    return predictNextRegionT<Btb>(now);
 }
 
 } // namespace cfl

@@ -27,15 +27,18 @@
 #ifndef CFL_CORE_BPU_HH
 #define CFL_CORE_BPU_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "branch/direction.hh"
 #include "branch/indirect.hh"
 #include "branch/ras.hh"
 #include "btb/btb.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "mem/hierarchy.hh"
 #include "trace/engine.hh"
+#include "trace/trace_buffer.hh"
 
 namespace cfl
 {
@@ -103,6 +106,16 @@ class Bpu
     /** Produce the next fetch region by walking the oracle stream. */
     BpuResult predictNextRegion(Cycle now);
 
+    /**
+     * predictNextRegion with the BTB's concrete type known at compile
+     * time: the per-branch lookup devirtualizes, and when the engine is
+     * replaying a buffered trace the walk jumps branch-to-branch over
+     * the buffer's predecoded branch index instead of materializing
+     * every non-branch instruction. Bit-identical to the virtual path.
+     */
+    template <typename BtbT>
+    BpuResult predictNextRegionT(Cycle now);
+
     StatSet &stats() { return stats_; }
     const StatSet &stats() const { return stats_; }
 
@@ -110,6 +123,19 @@ class Bpu
     Counter instsConsumed() const { return stats_.get("insts"); }
 
   private:
+    /**
+     * Predict/train on one branch instruction; returns true when the
+     * branch ends the region (taken, misfetch, or mispredict). Shared
+     * by the scalar walk and the branch-index walk so the two paths
+     * cannot drift.
+     */
+    template <typename BtbT>
+    bool handleBranch(const DynInst &inst, Cycle now, BpuResult &out);
+
+    /** Branch-index region walk over a buffered trace prefix. */
+    template <typename BtbT>
+    BpuResult predictRegionFromTrace(const TraceBuffer &trace, Cycle now);
+
     /** Resolution-time side effects of a branch the BPU did not predict
      *  (misfetch): trains predictors, fixes RAS/ITC, learns the BTB. */
     void resolveMisfetchedBranch(const DynInst &inst, Cycle now);
@@ -123,6 +149,12 @@ class Bpu
     InstMemory *mem_;
     StatSet stats_{"bpu"};
 
+    // Branch-index walk state: which trace the hint indexes into, and
+    // the first entry of branchPositions() not yet consumed. The hint
+    // only moves forward (the stream is consumed monotonically).
+    const TraceBuffer *fastTrace_ = nullptr;
+    std::uint64_t branchHint_ = 0;
+
     // Per-instruction counters resolved once (StatSet nodes are stable).
     Stat *instsStat_;
     Stat *branchesStat_;
@@ -135,6 +167,199 @@ class Bpu
     Stat *rasMispredictsStat_;
     Stat *indirectMispredictsStat_;
 };
+
+template <typename BtbT>
+inline bool
+Bpu::handleBranch(const DynInst &inst, Cycle now, BpuResult &out)
+{
+    branchesStat_->inc();
+    ++out.region.numBranches;
+    if (inst.taken)
+        takenLookupsStat_->inc();
+
+    const BtbLookupResult btb =
+        static_cast<BtbT &>(btb_).lookup(inst, now);
+    out.stall += btb.stallCycles;
+    if (btb.stallCycles > 0)
+        btbL2StallStat_->inc(btb.stallCycles);
+
+    if (!btb.hit) {
+        if (!inst.taken) {
+            // The BTB cannot even identify this instruction as a
+            // branch, so fetch falls through — which is correct.
+            // Decode still trains the direction predictor.
+            if (inst.kind == BranchKind::Cond)
+                direction_.update(inst.pc, inst.taken);
+            return false;
+        }
+
+        // Actually-taken branch absent from the BTB: the sequential
+        // fetch region is wrong (misfetch). Paper Section 2.1: this
+        // is the BTB-miss event.
+        btbTakenMissesStat_->inc();
+        misfetchesStat_->inc();
+        resolveMisfetchedBranch(inst, now);
+        out.misfetch = true;
+        out.region.deliveryBubble += params_.misfetchPenalty;
+        return true;
+    }
+
+    // BTB hit: predict with the full prediction unit.
+    switch (inst.kind) {
+      case BranchKind::Cond: {
+        const bool predicted_taken = direction_.predict(inst.pc);
+        direction_.update(inst.pc, inst.taken);
+        if (predicted_taken != inst.taken) {
+            condMispredictsStat_->inc();
+            out.mispredict = true;
+            out.region.deliveryBubble += params_.mispredictPenalty;
+            return true;
+        }
+        // Correctly predicted taken ends the region (direct target from
+        // the BTB entry is exact); not-taken keeps walking.
+        return inst.taken;
+      }
+
+      case BranchKind::Uncond:
+        return true;
+
+      case BranchKind::Call:
+        ras_.push(inst.fallThrough());
+        return true;
+
+      case BranchKind::Return: {
+        const Addr predicted = ras_.pop();
+        if (predicted != inst.target) {
+            rasMispredictsStat_->inc();
+            out.mispredict = true;
+            out.region.deliveryBubble += params_.mispredictPenalty;
+        }
+        return true;
+      }
+
+      case BranchKind::IndJump:
+      case BranchKind::IndCall: {
+        const Addr predicted = itc_.predict(inst.pc);
+        itc_.update(inst.pc, inst.target);
+        if (isCall(inst.kind))
+            ras_.push(inst.fallThrough());
+        if (predicted != inst.target) {
+            indirectMispredictsStat_->inc();
+            out.mispredict = true;
+            out.region.deliveryBubble += params_.mispredictPenalty;
+        }
+        return true;
+      }
+
+      case BranchKind::None:
+        cfl_panic("branch with kind None");
+    }
+    return true; // unreachable
+}
+
+template <typename BtbT>
+inline BpuResult
+Bpu::predictRegionFromTrace(const TraceBuffer &trace, Cycle now)
+{
+    if (fastTrace_ != &trace) {
+        // (Re)bind the hint to this trace: first branch at or after
+        // the replay cursor.
+        fastTrace_ = &trace;
+        const std::uint32_t *pos = trace.branchPositions();
+        branchHint_ =
+            std::lower_bound(pos, pos + trace.numBranches(),
+                             engine_.replayCursor()) -
+            pos;
+    }
+
+    const std::uint64_t start = engine_.replayCursor();
+    const std::uint64_t num_branches = trace.numBranches();
+    const std::uint32_t *branch_pos = trace.branchPositions();
+    const unsigned max_insts = params_.maxRegionInsts;
+
+    // A scalar-path detour (peeked stream) only moves the cursor
+    // forward, so advancing past consumed branches resynchronizes.
+    while (branchHint_ < num_branches && branch_pos[branchHint_] < start)
+        ++branchHint_;
+
+    BpuResult out;
+    out.region.startPc = trace.pcAt(start);
+
+    std::uint64_t pos = start;
+    unsigned insts = 0;
+    DynInst inst;
+    while (true) {
+        // Non-branch instructions before the next branch contribute
+        // nothing but the instruction count and the region-length cap,
+        // so the walk consumes them as one arithmetic step.
+        const std::uint64_t gap =
+            branchHint_ < num_branches ? branch_pos[branchHint_] - pos
+                                       : std::uint64_t{max_insts};
+        if (insts + gap >= max_insts) {
+            // Cap reached on a non-branch; any branch stays unconsumed
+            // for the next region.
+            pos += max_insts - insts;
+            insts = max_insts;
+            regionCapEndsStat_->inc();
+            break;
+        }
+
+        pos = branch_pos[branchHint_] + std::uint64_t{1};
+        insts += static_cast<unsigned>(gap) + 1;
+        trace.read(branch_pos[branchHint_], inst);
+        ++branchHint_;
+        if (handleBranch<BtbT>(inst, now, out))
+            break;
+        if (insts >= max_insts) {
+            regionCapEndsStat_->inc();
+            break;
+        }
+    }
+
+    out.region.numInsts = insts;
+    instsStat_->inc(insts);
+    engine_.skipReplay(pos - start);
+    return out;
+}
+
+template <typename BtbT>
+inline BpuResult
+Bpu::predictNextRegionT(Cycle now)
+{
+    // Fast path: plain replay with the whole worst-case region inside
+    // the buffered prefix (so the branch-index walk can never run off
+    // the buffer or interleave with live generation).
+    const TraceBuffer *trace = engine_.replayBuffer();
+    if (trace != nullptr && !engine_.peekPending() &&
+        engine_.replayCursor() + params_.maxRegionInsts <= trace->size())
+        return predictRegionFromTrace<BtbT>(*trace, now);
+
+    // Scalar walk: generation mode, a peeked stream, or the trace tail.
+    BpuResult out;
+    out.region.startPc = engine_.peek().pc;
+
+    while (true) {
+        const DynInst inst = engine_.next();
+        ++out.region.numInsts;
+        instsStat_->inc();
+
+        if (!inst.isBranch()) {
+            if (out.region.numInsts >= params_.maxRegionInsts) {
+                // Region cap: continue sequentially next cycle.
+                regionCapEndsStat_->inc();
+                return out;
+            }
+            continue;
+        }
+
+        if (handleBranch<BtbT>(inst, now, out))
+            return out;
+        if (out.region.numInsts >= params_.maxRegionInsts) {
+            regionCapEndsStat_->inc();
+            return out;
+        }
+    }
+}
 
 } // namespace cfl
 

@@ -81,9 +81,12 @@ Frontend::fetchAheadUnderStall()
     // overlapping their latencies (fetch-ahead under a miss). Squash
     // bubbles (deliveryBubble) do not fetch ahead: the queue contents
     // after a redirect are not yet trusted.
+    if (fetchAheadMemoValid())
+        return;
     unsigned outstanding = mem_.inFlightCount(cycle_);
     if (outstanding >= params_.fetchMshrs)
         return;
+    bool issued = false;
     unsigned scanned_offset = fetchOffset_;
     unsigned regions_scanned = 0;
     for (const FetchRegion &region : fetchQueue_) {
@@ -93,7 +96,7 @@ Frontend::fetchAheadUnderStall()
         // the oracle-built queue cannot represent. Deeper lookahead is
         // exactly what a real prefetcher (FDP/SHIFT) adds.
         if (++regions_scanned > params_.fetchAheadRegions)
-            return;
+            break;
         if (region.numInsts > 0 && scanned_offset < region.numInsts) {
             const Addr first = blockAlign(
                 region.startPc + scanned_offset * kInstBytes);
@@ -102,15 +105,23 @@ Frontend::fetchAheadUnderStall()
             for (Addr block = first; block <= last;
                  block += kBlockBytes) {
                 if (outstanding >= params_.fetchMshrs)
-                    return;
+                    return; // window not fully scanned: no memo
                 if (!mem_.residentOrInFlight(block)) {
                     fetchAheadFillsStat_->inc();
                     mem_.prefetch(block, cycle_);
+                    issued = true;
                     ++outstanding;
                 }
             }
         }
         scanned_offset = 0;
+    }
+    if (!issued) {
+        // The whole window is resident or in flight; until something
+        // is installed (the only way L1-I contents change) and while
+        // the window itself is untouched, rescanning is a no-op.
+        fetchAheadIdle_ = true;
+        fetchAheadIdleSeq_ = mem_.installSeq();
     }
 }
 
@@ -123,6 +134,10 @@ Frontend::tickFetch()
             fetchAheadUnderStall();
         return;
     }
+
+    // Active fetch moves the lookahead window (offset advance, region
+    // pops), so any no-op memo for the old window is stale.
+    fetchAheadIdle_ = false;
 
     unsigned credits = params_.fetchWidth;
     while (credits > 0 && !fetchQueue_.empty() &&
@@ -210,55 +225,9 @@ Frontend::tickFetch()
 }
 
 void
-Frontend::tickBpu()
-{
-    if (bpuStallUntil_ > cycle_) {
-        bpuStallStat_->inc();
-        return;
-    }
-    if (fetchQueue_.size() >= params_.fetchQueueRegions) {
-        fetchQueueFullStat_->inc();
-        return;
-    }
-
-    // Re-emit squashed regions first, one per cycle: the post-redirect
-    // BPU re-predicts the correct path region by region. Second-level
-    // BTB stalls do not recur (the first pass promoted the entries).
-    if (!replay_.empty()) {
-        FetchRegion region = replay_.front();
-        replay_.pop_front();
-        fetchQueue_.push_back(region);
-        queueBranches_ += region.numBranches;
-        regionsReplayedStat_->inc();
-        return;
-    }
-
-    const BpuResult res = bpu_.predictNextRegion(cycle_);
-    fetchQueue_.push_back(res.region);
-    regionsProducedStat_->inc();
-
-    if (res.stall > 0)
-        bpuStallUntil_ = cycle_ + res.stall;
-
-    // Fetch-directed prefetching sees every enqueued region, along with
-    // how many unresolved branch predictions sit ahead of it.
-    if (prefetcher_ != nullptr) {
-        prefetcher_->onFetchRegion(res.region.blockRange(),
-                                   queueBranches_, cycle_);
-        const unsigned errors =
-            (res.misfetch ? 1u : 0u) + (res.mispredict ? 1u : 0u);
-        prefetcher_->onBranchOutcome(res.region.numBranches, errors);
-    }
-    queueBranches_ += res.region.numBranches;
-}
-
-void
 Frontend::tick()
 {
-    ++cycle_;
-    tickBackend();
-    tickFetch();
-    tickBpu();
+    tickImpl<Btb>();
 }
 
 } // namespace cfl

@@ -27,6 +27,8 @@
 #ifndef CFL_CORE_FRONTEND_HH
 #define CFL_CORE_FRONTEND_HH
 
+#include <algorithm>
+
 #include "common/ring.hh"
 #include "core/bpu.hh"
 #include "mem/hierarchy.hh"
@@ -69,6 +71,25 @@ class Frontend
     /** Advance one cycle. */
     void tick();
 
+    /**
+     * tick() with the BTB's concrete type known at compile time: the
+     * BPU region walk devirtualizes (see Bpu::predictNextRegionT).
+     * Bit-identical to tick().
+     */
+    template <typename BtbT> void tickImpl();
+
+    /**
+     * Advance cycles until measuredRetired() >= @p target, using the
+     * typed tick plus a quiet-window fast path: while the fetch unit
+     * is stalled on a fill AND the BPU can make no progress (stalled
+     * or queue full) AND fetch-ahead is provably a no-op (redirect
+     * bubble, or the lookahead window scanned clean since the last
+     * install), a cycle only advances the backend and the three stall
+     * counters — so those cycles run without touching the fetch path
+     * at all. Bit-identical to calling tick() in a loop.
+     */
+    template <typename BtbT> void runUntil(Counter target);
+
     /** Instructions retired so far. */
     Counter retired() const { return retired_; }
 
@@ -89,8 +110,21 @@ class Frontend
   private:
     void tickBackend();
     void tickFetch();
-    void tickBpu();
+    template <typename BtbT> void tickBpuImpl();
     void fetchAheadUnderStall();
+
+    /**
+     * True while the last full fetch-ahead scan found every block in
+     * the lookahead window resident or in flight and nothing has been
+     * installed since: the scan is a provable no-op. Cleared whenever
+     * the window can change (active fetch, a region entering the
+     * window) and implicitly by any install (installSeq moves on).
+     */
+    bool
+    fetchAheadMemoValid() const
+    {
+        return fetchAheadIdle_ && mem_.installSeq() == fetchAheadIdleSeq_;
+    }
 
     FrontendParams params_;
     Bpu &bpu_;
@@ -120,6 +154,9 @@ class Frontend
     bool stallIsBubble_ = false;  ///< redirect bubble (no fetch-ahead)
     Cycle bpuStallUntil_ = 0;
 
+    bool fetchAheadIdle_ = false;       ///< see fetchAheadMemoValid()
+    std::uint64_t fetchAheadIdleSeq_ = 0;
+
     Counter retired_ = 0;
     Counter retiredBase_ = 0;
     Cycle cycleBase_ = 0;
@@ -142,6 +179,178 @@ class Frontend
     Stat *regionsReplayedStat_;
     Stat *regionsProducedStat_;
 };
+
+template <typename BtbT>
+inline void
+Frontend::tickBpuImpl()
+{
+    if (bpuStallUntil_ > cycle_) {
+        bpuStallStat_->inc();
+        return;
+    }
+    if (fetchQueue_.size() >= params_.fetchQueueRegions) {
+        fetchQueueFullStat_->inc();
+        return;
+    }
+
+    // Re-emit squashed regions first, one per cycle: the post-redirect
+    // BPU re-predicts the correct path region by region. Second-level
+    // BTB stalls do not recur (the first pass promoted the entries).
+    if (!replay_.empty()) {
+        FetchRegion region = replay_.front();
+        replay_.pop_front();
+        fetchQueue_.push_back(region);
+        queueBranches_ += region.numBranches;
+        regionsReplayedStat_->inc();
+        if (fetchQueue_.size() <= params_.fetchAheadRegions)
+            fetchAheadIdle_ = false; // region entered the scan window
+        return;
+    }
+
+    const BpuResult res = bpu_.predictNextRegionT<BtbT>(cycle_);
+    fetchQueue_.push_back(res.region);
+    regionsProducedStat_->inc();
+    if (fetchQueue_.size() <= params_.fetchAheadRegions)
+        fetchAheadIdle_ = false; // region entered the scan window
+
+    if (res.stall > 0)
+        bpuStallUntil_ = cycle_ + res.stall;
+
+    // Fetch-directed prefetching sees every enqueued region, along with
+    // how many unresolved branch predictions sit ahead of it.
+    if (prefetcher_ != nullptr) {
+        prefetcher_->onFetchRegion(res.region.blockRange(),
+                                   queueBranches_, cycle_);
+        const unsigned errors =
+            (res.misfetch ? 1u : 0u) + (res.mispredict ? 1u : 0u);
+        prefetcher_->onBranchOutcome(res.region.numBranches, errors);
+    }
+    queueBranches_ += res.region.numBranches;
+}
+
+template <typename BtbT>
+inline void
+Frontend::tickImpl()
+{
+    ++cycle_;
+    tickBackend();
+    tickFetch();
+    tickBpuImpl<BtbT>();
+}
+
+template <typename BtbT>
+inline void
+Frontend::runUntil(Counter target)
+{
+    while (measuredRetired() < target) {
+        tickImpl<BtbT>();
+
+        // Quiet-window check for the cycles after this tick. The
+        // conditions are invariant across quiet cycles (nothing below
+        // installs blocks or touches the fetch queue), so they hoist
+        // out of the skip loop.
+        if (fetchStallUntil_ <= cycle_ + 1)
+            continue;
+        Cycle last = fetchStallUntil_ - 1;
+        if (!(stallIsBubble_ || fetchAheadMemoValid())) {
+            // Third quiet shape: the fetch-ahead scan starts by
+            // checking MSHR occupancy and is a stat-free no-op at the
+            // cap. With fetch and BPU quiet nothing issues new fills,
+            // so occupancy cannot drop below the cap before the
+            // earliest in-flight completion.
+            const Cycle min_ready = mem_.minInFlightReady();
+            if (mem_.inFlightSize() < params_.fetchMshrs ||
+                min_ready <= cycle_ + 1)
+                continue;
+            last = std::min(last, min_ready - 1);
+        }
+        const bool queue_full =
+            fetchQueue_.size() >= params_.fetchQueueRegions;
+
+        // Last cycle of the quiet window: the fetch stall must still
+        // hold, and without a full queue so must the BPU stall.
+        if (!queue_full) {
+            if (bpuStallUntil_ <= cycle_ + 1)
+                continue;
+            last = std::min(last, bpuStallUntil_ - 1);
+        }
+
+        // Quiet cycles, segmented. Only the backend does real work in
+        // a quiet cycle, and while it is data-stalled or starved it
+        // retires nothing, so those segments advance in one arithmetic
+        // step with bulk stat increments; consumption cycles (at most
+        // a decode buffer's worth) run the real tickBackend.
+        while (cycle_ < last && measuredRetired() < target) {
+            Cycle n;
+            if (dataStallLeft_ > 0) {
+                n = std::min<Cycle>(dataStallLeft_, last - cycle_);
+                dataStallLeft_ -= n;
+                backendDataStallStat_->inc(n);
+            } else if (decodeBufferInsts_ == 0) {
+                // Starved, and nothing arrives while fetch stalls.
+                n = last - cycle_;
+                backendStarvedStat_->inc(n);
+            } else if (decodeBufferInsts_ >= params_.retireWidth) {
+                // Full-width consumption is deterministic, so whole
+                // runs of it advance arithmetically: every cycle
+                // retires exactly retireWidth until the buffer can no
+                // longer sustain the width, the burst window closes
+                // (the data stall fires only on the cycle whose
+                // cumulative consumption first reaches burstInsts, so
+                // no intermediate cycle can trigger it), or the
+                // measurement target is hit mid-window.
+                const unsigned width = params_.retireWidth;
+                const Cycle full = decodeBufferInsts_ / width;
+                const Cycle to_burst =
+                    (params_.burstInsts - burstConsumed_ + width - 1) /
+                    width;
+                const Cycle to_target =
+                    (target - measuredRetired() + width - 1) / width;
+                n = std::min({full, to_burst, to_target,
+                              last - cycle_});
+                if (n == 0) {
+                    // last == cycle_ cannot happen (loop guard), so
+                    // this is unreachable; keep the single-step tick as
+                    // the safety net regardless.
+                    ++cycle_;
+                    tickBackend();
+                    fetchStallStat_->inc();
+                    (bpuStallUntil_ > cycle_ ? bpuStallStat_
+                                             : fetchQueueFullStat_)
+                        ->inc();
+                    continue;
+                }
+                const unsigned insts = static_cast<unsigned>(n) * width;
+                decodeBufferInsts_ -= insts;
+                retired_ += insts;
+                burstConsumed_ += insts;
+                if (burstConsumed_ >= params_.burstInsts) {
+                    burstConsumed_ = 0;
+                    dataStallLeft_ = params_.dataStallCycles;
+                }
+            } else {
+                ++cycle_;
+                tickBackend();
+                fetchStallStat_->inc();
+                (bpuStallUntil_ > cycle_ ? bpuStallStat_
+                                         : fetchQueueFullStat_)
+                    ->inc();
+                continue;
+            }
+            // The n skipped cycles are all fetch stalls; each is a BPU
+            // stall while bpuStallUntil_ covers it and a full-queue
+            // cycle after (the queue cannot drain mid-window).
+            fetchStallStat_->inc(n);
+            const Cycle bpu_cycles =
+                bpuStallUntil_ > cycle_ + 1
+                    ? std::min<Cycle>(bpuStallUntil_ - cycle_ - 1, n)
+                    : 0;
+            bpuStallStat_->inc(bpu_cycles);
+            fetchQueueFullStat_->inc(n - bpu_cycles);
+            cycle_ += n;
+        }
+    }
+}
 
 } // namespace cfl
 

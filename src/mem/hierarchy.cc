@@ -33,8 +33,20 @@ void
 InstMemory::expireInFlight(Cycle now)
 {
     // Lazy MSHR retirement: fills whose completion time passed are done.
-    inFlight_.retainIf(
-        [now](Addr, const Cycle &ready) { return ready > now; });
+    // The walk only matters once some fill's completion time has been
+    // reached; until then every entry is strictly in flight and the map
+    // is already in its post-expiry state.
+    if (now < minInFlightReady_)
+        return;
+    Cycle min_ready = ~Cycle{0};
+    inFlight_.retainIf([now, &min_ready](Addr, const Cycle &ready) {
+        if (ready <= now)
+            return false;
+        if (ready < min_ready)
+            min_ready = ready;
+        return true;
+    });
+    minInFlightReady_ = min_ready;
 }
 
 Cycle
@@ -50,6 +62,9 @@ InstMemory::install(Addr block_addr, bool from_prefetch, Cycle now,
     // blocks see the residual latency.
     l1i_.insert(block_addr);
     inFlight_.assign(block_addr, ready);
+    ++installSeq_;
+    if (ready < minInFlightReady_)
+        minInFlightReady_ = ready;
     if (fillHook_)
         fillHook_(block_addr, from_prefetch, ready);
     return ready;
@@ -138,6 +153,13 @@ InstMemory::residentOrInFlight(Addr block_addr) const
 unsigned
 InstMemory::inFlightCount(Cycle now) const
 {
+    // While now < minInFlightReady_ every stored fill is still in
+    // flight, so the occupancy is just the map size — the common case
+    // during a fetch stall, where this runs every cycle.
+    if (inFlight_.empty())
+        return 0;
+    if (now < minInFlightReady_)
+        return static_cast<unsigned>(inFlight_.size());
     unsigned count = 0;
     inFlight_.forEach([&](Addr, const Cycle &ready) {
         if (ready > now)

@@ -81,6 +81,24 @@ class InstMemory
     /** Number of fills still in flight at @p now (MSHR occupancy). */
     unsigned inFlightCount(Cycle now) const;
 
+    /**
+     * Monotone counter bumped on every L1-I install. Observers that
+     * cache "nothing useful to do" conclusions (e.g. the fetch-ahead
+     * scan) use it to detect that cache contents changed.
+     */
+    std::uint64_t installSeq() const { return installSeq_; }
+
+    /** Fills tracked in the MSHR map regardless of completion time. */
+    std::size_t inFlightSize() const { return inFlight_.size(); }
+
+    /**
+     * Lower bound on the earliest in-flight completion cycle (never
+     * later than the true minimum; ~0 when nothing is in flight).
+     * While now < minInFlightReady() every tracked fill is strictly
+     * in flight, so inFlightCount(now) == inFlightSize().
+     */
+    Cycle minInFlightReady() const { return minInFlightReady_; }
+
     void setFillHook(FillHook hook) { fillHook_ = hook; }
     void setEvictHook(EvictHook hook);
 
@@ -106,6 +124,15 @@ class InstMemory
     /** blockAddr -> fill completion cycle (open-addressed: MSHR churn
      *  stays off the allocator). */
     FlatMap<Cycle> inFlight_;
+
+    /**
+     * Lower bound on the earliest completion cycle in inFlight_ (never
+     * later than the true minimum; ~0 when the map is empty). While
+     * now < minInFlightReady_ every entry is strictly in flight, so
+     * expiry walks and occupancy counts take O(1) fast paths.
+     */
+    Cycle minInFlightReady_ = ~Cycle{0};
+    std::uint64_t installSeq_ = 0;  ///< see installSeq()
 
     // Hot counters resolved once; StatSet map nodes are stable.
     Stat *demandFetchesStat_;

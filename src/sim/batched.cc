@@ -1,0 +1,138 @@
+#include "sim/batched.hh"
+
+#include <algorithm>
+
+#include "confluence/cmp.hh"
+#include "trace/trace_cache.hh"
+
+namespace cfl
+{
+
+namespace
+{
+
+/** Replay-stream slack per point; see Cmp::prepareTraces. */
+constexpr Counter kOracleSlack = 4096;
+
+/** Retired instructions one point simulates end to end. */
+Counter
+pointInsts(const SweepPoint &p)
+{
+    return p.scale.timingWarmupInsts + p.scale.timingMeasureInsts;
+}
+
+} // namespace
+
+BatchSchedule
+buildBatchSchedule(const std::vector<SweepPoint> &points)
+{
+    BatchSchedule sched;
+    sched.seeds.resize(points.size());
+    sched.order.resize(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        sched.seeds[i] = sweepPointSeed(points[i].kind,
+                                        points[i].workload);
+        sched.order[i] = i;
+    }
+
+    // Trace-major: points replaying one (workload, seed) stream run
+    // back to back, so the stream is decoded once per group rather
+    // than once per point. The sort is stable on submission order,
+    // keeping the schedule itself deterministic.
+    std::stable_sort(
+        sched.order.begin(), sched.order.end(),
+        [&](std::size_t a, std::size_t b) {
+            const auto ka = std::make_pair(
+                static_cast<int>(points[a].workload), sched.seeds[a]);
+            const auto kb = std::make_pair(
+                static_cast<int>(points[b].workload), sched.seeds[b]);
+            return ka < kb;
+        });
+
+    for (std::size_t begin = 0; begin < sched.order.size();) {
+        std::size_t end = begin + 1;
+        const std::size_t lead = sched.order[begin];
+        while (end < sched.order.size()) {
+            const std::size_t next = sched.order[end];
+            if (points[next].workload != points[lead].workload ||
+                sched.seeds[next] != sched.seeds[lead])
+                break;
+            ++end;
+        }
+        sched.groups.emplace_back(begin, end);
+        begin = end;
+    }
+    return sched;
+}
+
+SweepResult
+runBatchedSweep(const std::vector<SweepPoint> &points,
+                const SystemConfig &config, SweepEngine &engine)
+{
+    const BatchSchedule sched = buildBatchSchedule(points);
+
+    SweepResult result;
+    result.points.resize(points.size());
+
+    engine.parallelFor(sched.groups.size(), [&](std::size_t g) {
+        const auto [begin, end] = sched.groups[g];
+        const std::size_t lead = sched.order[begin];
+        const WorkloadId workload = points[lead].workload;
+        const std::uint64_t seed_base = sched.seeds[lead];
+
+        // Hoisted predecode: acquire each per-core replay stream once,
+        // sized for the longest point in the group. Points needing
+        // fewer cores simply ignore the extras; a nullptr (cache
+        // budget exhausted) leaves those engines on live generation,
+        // which is bit-identical, just slower.
+        Counter max_insts = 0;
+        unsigned max_cores = 0;
+        for (std::size_t pos = begin; pos < end; ++pos) {
+            const SweepPoint &p = points[sched.order[pos]];
+            max_insts = std::max(max_insts, pointInsts(p));
+            max_cores = std::max(max_cores, p.scale.timingCores);
+        }
+        std::vector<std::shared_ptr<const TraceBuffer>> traces(max_cores);
+        for (unsigned c = 0; c < max_cores; ++c)
+            traces[c] = traceCache().acquire(
+                workload, seed_base + 0x1000ull * c,
+                max_insts + kOracleSlack);
+
+        for (std::size_t pos = begin; pos < end; ++pos) {
+            const std::size_t idx = sched.order[pos];
+            const SweepPoint &p = points[idx];
+
+            SystemConfig cfg = config;
+            cfg.numCores = p.scale.timingCores;
+            Cmp cmp(p.kind, p.workload, cfg, seed_base);
+            for (unsigned c = 0; c < cmp.numCores(); ++c) {
+                if (c < traces.size() && traces[c] != nullptr)
+                    cmp.core(c).engine().attachTrace(traces[c]);
+            }
+            // No-op for the engines attached above; fills in any the
+            // hoist could not serve.
+            cmp.prepareTraces(pointInsts(p));
+            cmp.runWarmup(p.scale.timingWarmupInsts);
+            cmp.runMeasurement(p.scale.timingMeasureInsts);
+
+            SweepOutcome out;
+            out.point = p;
+            out.seed = seed_base;
+            out.metrics = cmp.collectMetrics();
+            // Submission-order slot: the result is byte-identical to
+            // runTimingSweep regardless of the batched schedule.
+            result.points[idx] = std::move(out);
+        }
+    });
+    return result;
+}
+
+SweepResult
+runBatchedSweep(const std::vector<SweepPoint> &points,
+                const SystemConfig &config)
+{
+    SweepEngine engine;
+    return runBatchedSweep(points, config, engine);
+}
+
+} // namespace cfl

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Batched lockstep sweep runner.
+ *
+ * runTimingSweep evaluates points in submission order, and every point
+ * re-acquires its replay traces from the trace cache inside its own
+ * runTiming call. runBatchedSweep restructures the same work
+ * trace-major: points are grouped by the (workload, seed) streams they
+ * replay, the trace fetch/predecode step is hoisted out of the
+ * per-point loop (one acquire per stream per group, attached directly
+ * to every point's engines), and the groups fan out across the sweep
+ * engine. Within a point the simulation still runs through the
+ * compile-time-typed per-FrontendKind inner loops (see
+ * Frontend::runUntil and the CoreRunner table in cmp.cc).
+ *
+ * Determinism contract: the output is byte-identical to
+ * runTimingSweep(points, config, engine) — same outcomes, same
+ * submission order. Each point's seed remains the pure function
+ * sweepPointSeed(kind, workload), points share no mutable state, and a
+ * replayed stream's content does not depend on the buffer length a
+ * driver happened to attach (the engine falls back to live generation
+ * past the tail, bit-identically).
+ */
+
+#ifndef CFL_SIM_BATCHED_HH
+#define CFL_SIM_BATCHED_HH
+
+#include "sim/sweep.hh"
+
+namespace cfl
+{
+
+/**
+ * A batch schedule: submission indices of @p points reordered
+ * trace-major, plus the [begin, end) group boundaries of runs that
+ * share a (workload, seed-base) replay stream. Exposed for tests.
+ */
+struct BatchSchedule
+{
+    /** Submission indices, stably sorted by (workload, seed base). */
+    std::vector<std::size_t> order;
+    /** Per-point seed bases, indexed by submission index. */
+    std::vector<std::uint64_t> seeds;
+    /** One [begin, end) range into order per trace-sharing group. */
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+};
+
+/** Build the trace-major schedule for @p points. */
+BatchSchedule buildBatchSchedule(const std::vector<SweepPoint> &points);
+
+/**
+ * Evaluate exactly the given points, batched trace-major. Results are
+ * byte-identical to runTimingSweep(points, config, engine), in
+ * submission order.
+ */
+SweepResult runBatchedSweep(const std::vector<SweepPoint> &points,
+                            const SystemConfig &config,
+                            SweepEngine &engine);
+
+/** Batched sweep on a default-sized engine. */
+SweepResult runBatchedSweep(const std::vector<SweepPoint> &points,
+                            const SystemConfig &config);
+
+} // namespace cfl
+
+#endif // CFL_SIM_BATCHED_HH

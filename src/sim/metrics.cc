@@ -13,8 +13,15 @@ geomean(const std::vector<double> &values)
     if (values.empty())
         return 0.0;
     double log_sum = 0.0;
-    for (const double v : values) {
-        cfl_assert(v > 0.0, "geomean needs positive values");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const double v = values[i];
+        // A zero, negative, or NaN element would turn the whole mean
+        // into -inf/NaN and silently poison every figure derived from
+        // it; dying here names the offending element instead. (The
+        // check survives NDEBUG, and NaN fails the comparison too.)
+        cfl_assert(v > 0.0,
+                   "geomean needs positive values, got %g at index %zu",
+                   v, i);
         log_sum += std::log(v);
     }
     return std::exp(log_sum / static_cast<double>(values.size()));

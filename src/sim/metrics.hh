@@ -14,7 +14,13 @@
 namespace cfl
 {
 
-/** Geometric mean of positive values (0 for empty input). */
+/**
+ * Geometric mean of positive values. Empty input returns 0 (a sweep
+ * with no points has no meaningful mean, and callers print it as-is).
+ * Any element <= 0 or NaN panics — in every build type — rather than
+ * returning -inf/NaN; speedups and IPCs are positive by construction,
+ * so a non-positive element is always an upstream bug.
+ */
 double geomean(const std::vector<double> &values);
 
 /** Arithmetic mean (0 for empty input). */

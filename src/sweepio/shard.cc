@@ -7,28 +7,56 @@
 namespace cfl::sweepio
 {
 
+namespace
+{
+
+/**
+ * Parse a strict non-negative decimal: digits only (no sign, space, or
+ * base prefix — strtol quietly accepts all three), no overflow past
+ * unsigned range. Returns false on any violation; the caller owns the
+ * error message so every malformed spec dies the same way.
+ */
+bool
+parseStrictUnsigned(const std::string &text, unsigned &out)
+{
+    if (text.empty())
+        return false;
+    unsigned long long value = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<unsigned>(c - '0');
+        // ~0u is far above any real shard count; capping here keeps the
+        // accumulator from wrapping on absurdly long digit strings.
+        if (value > ~0u)
+            return false;
+    }
+    out = static_cast<unsigned>(value);
+    return true;
+}
+
+} // namespace
+
 ShardSpec
 parseShardSpec(const std::string &spec)
 {
     const std::size_t slash = spec.find('/');
-    if (slash == std::string::npos || slash == 0 ||
-        slash + 1 == spec.size())
+    if (slash == std::string::npos)
         cfl_fatal("shard spec must be \"i/N\", got \"%s\"", spec.c_str());
 
-    char *end = nullptr;
-    const std::string index_str = spec.substr(0, slash);
-    const std::string count_str = spec.substr(slash + 1);
-    const long index = std::strtol(index_str.c_str(), &end, 10);
-    if (*end != '\0' || index < 0)
+    unsigned index = 0;
+    unsigned count = 0;
+    if (!parseStrictUnsigned(spec.substr(0, slash), index) ||
+        !parseStrictUnsigned(spec.substr(slash + 1), count))
         cfl_fatal("shard spec must be \"i/N\", got \"%s\"", spec.c_str());
-    const long count = std::strtol(count_str.c_str(), &end, 10);
-    if (*end != '\0' || count < 1)
-        cfl_fatal("shard spec must be \"i/N\", got \"%s\"", spec.c_str());
+    if (count == 0)
+        cfl_fatal("shard spec \"%s\": shard count must be at least 1",
+                  spec.c_str());
     if (index >= count)
-        cfl_fatal("shard index %ld out of range for %ld shards",
+        cfl_fatal("shard index %u out of range for %u shards",
                   index, count);
 
-    return {static_cast<unsigned>(index), static_cast<unsigned>(count)};
+    return {index, count};
 }
 
 std::vector<SweepPoint>

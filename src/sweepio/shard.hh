@@ -28,7 +28,14 @@ struct ShardSpec
     unsigned count = 1;   ///< total number of shards
 };
 
-/** Parse "i/N" (0 <= i < N, N >= 1); fatal() on malformed input. */
+/**
+ * Parse "i/N" (0 <= i < N, N >= 1). Both fields must be bare decimal
+ * digits — no sign, whitespace, or base prefix — and fit in unsigned.
+ * Anything else (including i/0, i >= N, negative, or overflowing
+ * values) exits with code 1 and a message naming the spec: a malformed
+ * shard silently mapped to the wrong slice would corrupt a merged
+ * sweep, so rejection is fatal, never a fallback.
+ */
 ShardSpec parseShardSpec(const std::string &spec);
 
 /**

@@ -68,6 +68,17 @@ ExecEngine::restore(const EngineSnapshot &snap)
     traceCursor_ = 0;
 }
 
+void
+ExecEngine::skipReplay(std::uint64_t n)
+{
+    cfl_assert(trace_ != nullptr && !hasPeek_,
+               "skipReplay outside plain replay");
+    cfl_assert(traceCursor_ + n <= trace_->size(),
+               "skipReplay past the buffered prefix");
+    traceCursor_ += n;
+    instCount_ += n;
+}
+
 const DynInst &
 ExecEngine::peek()
 {

@@ -92,6 +92,24 @@ class ExecEngine
     /** True while instructions come from an attached trace. */
     bool replaying() const { return trace_ != nullptr; }
 
+    /** The attached trace, or nullptr when generating live. */
+    const TraceBuffer *replayBuffer() const { return trace_.get(); }
+
+    /** Index of the next instruction next() would replay. */
+    std::uint64_t replayCursor() const { return traceCursor_; }
+
+    /** True when peek() buffered an instruction next() hasn't taken. */
+    bool peekPending() const { return hasPeek_; }
+
+    /**
+     * Advance the replay cursor past @p n instructions without
+     * materializing them. Callers must have consumed them some other
+     * way (e.g. straight from the buffer's columns) and must stay
+     * within the buffered prefix with no peek outstanding — the skip
+     * is then indistinguishable from n calls to next().
+     */
+    void skipReplay(std::uint64_t n);
+
     /** Capture the current generator state (generation mode only). */
     EngineSnapshot snapshot() const;
 

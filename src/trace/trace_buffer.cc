@@ -10,6 +10,8 @@ TraceBuffer::TraceBuffer(const Program &program, const EngineParams &params,
     : numInsts_(num_insts), arenaBytes_(arenaBytesFor(num_insts))
 {
     cfl_assert(num_insts > 0, "empty trace buffer");
+    cfl_assert(num_insts <= ~std::uint32_t{0},
+               "trace too long for the 32-bit branch index");
     arena_ = std::make_unique<std::byte[]>(arenaBytes_);
 
     // Carve the SoA columns out of the arena widest-first so every
@@ -30,6 +32,8 @@ TraceBuffer::TraceBuffer(const Program &program, const EngineParams &params,
         request_id[i] = inst.requestId;
         kind[i] = static_cast<std::uint8_t>(inst.kind);
         taken[i] = inst.taken ? 1 : 0;
+        if (inst.kind != BranchKind::None)
+            branchPos_.push_back(static_cast<std::uint32_t>(i));
     }
     tail_ = engine.snapshot();
 

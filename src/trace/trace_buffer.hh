@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "trace/engine.hh"
 #include "workloads/program.hh"
@@ -57,6 +58,23 @@ class TraceBuffer
         out.taken = taken_[i] != 0;
     }
 
+    /** PC of instruction @p i (region starts need only the pc column). */
+    Addr pcAt(std::uint64_t i) const { return pc_[i]; }
+
+    /**
+     * Branch-skip predecode index: the instruction indices of every
+     * branch in the trace, ascending. Built once with the trace and
+     * shared by every replayer, it lets a region walk jump from branch
+     * to branch instead of materializing each non-branch instruction.
+     */
+    const std::uint32_t *branchPositions() const
+    {
+        return branchPos_.data();
+    }
+
+    /** Number of entries in branchPositions(). */
+    std::uint64_t numBranches() const { return branchPos_.size(); }
+
     /** Generator state after the last stored instruction. */
     const EngineSnapshot &tailSnapshot() const { return tail_; }
 
@@ -85,6 +103,9 @@ class TraceBuffer
     const std::uint32_t *requestId_ = nullptr;
     const std::uint8_t *kind_ = nullptr;
     const std::uint8_t *taken_ = nullptr;
+
+    /** Instruction indices of every branch, ascending (predecode). */
+    std::vector<std::uint32_t> branchPos_;
 
     EngineSnapshot tail_;
 };

@@ -89,6 +89,13 @@ TraceCache::cachedBytes() const
 }
 
 std::uint64_t
+TraceCache::lookups() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lookups_;
+}
+
+std::uint64_t
 TraceCache::hits() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -145,6 +152,10 @@ TraceCache::acquire(WorkloadId workload, std::uint64_t seed,
     std::shared_ptr<Entry> entry;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        // Counted up front so hits_ + misses_ + bypasses_ == lookups_
+        // partitions every completed call; the exception path below
+        // backs the count out because it classifies as none of them.
+        ++lookups_;
         if (budgetBytes_ == 0) {
             ++bypasses_;
             return nullptr;
@@ -200,6 +211,7 @@ TraceCache::acquire(WorkloadId workload, std::uint64_t seed,
     } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         chargedBytes_ -= bytes;
+        --lookups_;
         throw;
     }
 

@@ -58,6 +58,13 @@ class TraceCache
     std::uint64_t budgetBytes() const;
     std::uint64_t cachedBytes() const;
 
+    /**
+     * Completed acquire() calls. Every lookup is classified as exactly
+     * one of hit, miss, or bypass, so
+     * hits() + misses() + bypasses() == lookups() always holds (an
+     * acquire that unwinds with an exception is not counted).
+     */
+    std::uint64_t lookups() const;
     /** acquire() calls served from an existing buffer. */
     std::uint64_t hits() const;
     /** acquire() calls that generated a new buffer. */
@@ -78,6 +85,7 @@ class TraceCache
     std::uint64_t budgetBytes_;
     std::uint64_t chargedBytes_ = 0;
     std::uint64_t useClock_ = 0;
+    std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t bypasses_ = 0;

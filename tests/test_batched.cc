@@ -1,0 +1,180 @@
+/**
+ * @file Tests for the batched lockstep sweep runner: trace-major
+ * schedule construction and bit-identity of batched results against
+ * the serial reference path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/batched.hh"
+#include "trace/trace_cache.hh"
+
+using namespace cfl;
+
+namespace
+{
+
+RunScale
+tinyScale()
+{
+    RunScale scale;
+    scale.timingWarmupInsts = 30000;
+    scale.timingMeasureInsts = 30000;
+    scale.timingCores = 1;
+    return scale;
+}
+
+/** A small fig06-style grid, with a duplicated point so at least one
+ *  trace group holds more than one run. */
+std::vector<SweepPoint>
+sampleGrid()
+{
+    const RunScale scale = tinyScale();
+    std::vector<SweepPoint> points;
+    for (FrontendKind kind :
+         {FrontendKind::Baseline, FrontendKind::Fdp,
+          FrontendKind::Confluence}) {
+        for (WorkloadId workload :
+             {WorkloadId::DssQry, WorkloadId::WebFrontend})
+            points.push_back({kind, workload, scale});
+    }
+    points.push_back({FrontendKind::Baseline, WorkloadId::DssQry, scale});
+    return points;
+}
+
+/** Every per-core counter must match exactly, not just within
+ *  tolerance: the batched path's contract is bit-identity. */
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        const SweepOutcome &x = a.points[i];
+        const SweepOutcome &y = b.points[i];
+        EXPECT_EQ(x.point.kind, y.point.kind);
+        EXPECT_EQ(x.point.workload, y.point.workload);
+        EXPECT_EQ(x.seed, y.seed);
+        ASSERT_EQ(x.metrics.cores.size(), y.metrics.cores.size());
+        for (std::size_t c = 0; c < x.metrics.cores.size(); ++c) {
+            const CoreMetrics &cx = x.metrics.cores[c];
+            const CoreMetrics &cy = y.metrics.cores[c];
+            EXPECT_EQ(cx.retired, cy.retired);
+            EXPECT_EQ(cx.cycles, cy.cycles);
+            EXPECT_EQ(cx.btbTakenLookups, cy.btbTakenLookups);
+            EXPECT_EQ(cx.btbTakenMisses, cy.btbTakenMisses);
+            EXPECT_EQ(cx.misfetches, cy.misfetches);
+            EXPECT_EQ(cx.condMispredicts, cy.condMispredicts);
+            EXPECT_EQ(cx.l1iDemandFetches, cy.l1iDemandFetches);
+            EXPECT_EQ(cx.l1iDemandMisses, cy.l1iDemandMisses);
+            EXPECT_EQ(cx.l1iInFlightHits, cy.l1iInFlightHits);
+            EXPECT_EQ(cx.btbL2StallCycles, cy.btbL2StallCycles);
+            EXPECT_EQ(cx.fetchMissStallCycles, cy.fetchMissStallCycles);
+        }
+    }
+}
+
+} // namespace
+
+TEST(BatchSchedule, GroupsShareWorkloadAndSeed)
+{
+    const std::vector<SweepPoint> points = sampleGrid();
+    const BatchSchedule sched = buildBatchSchedule(points);
+
+    // The schedule is a permutation of the submission indices.
+    ASSERT_EQ(sched.order.size(), points.size());
+    ASSERT_EQ(sched.seeds.size(), points.size());
+    std::vector<std::size_t> sorted = sched.order;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        EXPECT_EQ(sorted[i], i);
+
+    // Groups tile [0, n) and are homogeneous in (workload, seed).
+    std::size_t expect_begin = 0;
+    for (const auto &[begin, end] : sched.groups) {
+        EXPECT_EQ(begin, expect_begin);
+        ASSERT_LT(begin, end);
+        const std::size_t lead = sched.order[begin];
+        for (std::size_t pos = begin; pos < end; ++pos) {
+            const std::size_t i = sched.order[pos];
+            EXPECT_EQ(points[i].workload, points[lead].workload);
+            EXPECT_EQ(sched.seeds[i], sched.seeds[lead]);
+        }
+        expect_begin = end;
+    }
+    EXPECT_EQ(expect_begin, points.size());
+
+    // Adjacent groups differ (otherwise they would be one group).
+    for (std::size_t g = 1; g < sched.groups.size(); ++g) {
+        const std::size_t a = sched.order[sched.groups[g - 1].first];
+        const std::size_t b = sched.order[sched.groups[g].first];
+        EXPECT_TRUE(points[a].workload != points[b].workload ||
+                    sched.seeds[a] != sched.seeds[b]);
+    }
+
+    // The duplicated Baseline/DssQry point lands in a 2-run group.
+    std::size_t max_group = 0;
+    for (const auto &[begin, end] : sched.groups)
+        max_group = std::max(max_group, end - begin);
+    EXPECT_GE(max_group, 2u);
+}
+
+TEST(BatchedSweep, BitIdenticalToSerialReference)
+{
+    const std::vector<SweepPoint> points = sampleGrid();
+    const SystemConfig config;
+
+    SweepEngine serial(1);
+    const SweepResult reference =
+        runTimingSweep(points, config, serial);
+    const SweepResult batched_serial =
+        runBatchedSweep(points, config, serial);
+    expectIdentical(reference, batched_serial);
+
+    SweepEngine parallel(4);
+    const SweepResult batched_parallel =
+        runBatchedSweep(points, config, parallel);
+    expectIdentical(reference, batched_parallel);
+}
+
+TEST(BatchedSweep, BitIdenticalWithoutTraceCache)
+{
+    // With the trace cache disabled the hoisted acquire returns
+    // nullptr and every engine falls back to live generation — still
+    // bit-identical, just slower.
+    const std::uint64_t saved_budget = traceCache().budgetBytes();
+    traceCache().setBudgetBytes(0);
+
+    std::vector<SweepPoint> points = sampleGrid();
+    points.resize(3); // keep the uncached run cheap
+    const SystemConfig config;
+
+    SweepEngine serial(1);
+    const SweepResult reference =
+        runTimingSweep(points, config, serial);
+    const SweepResult batched =
+        runBatchedSweep(points, config, serial);
+
+    traceCache().setBudgetBytes(saved_budget);
+    expectIdentical(reference, batched);
+}
+
+TEST(BatchedSweep, MultiCorePointsMatch)
+{
+    RunScale scale = tinyScale();
+    scale.timingCores = 2;
+    const std::vector<SweepPoint> points = {
+        {FrontendKind::Confluence, WorkloadId::DssQry, scale},
+        {FrontendKind::Confluence, WorkloadId::DssQry, scale},
+    };
+    const SystemConfig config;
+
+    SweepEngine serial(1);
+    const SweepResult reference =
+        runTimingSweep(points, config, serial);
+    const SweepResult batched =
+        runBatchedSweep(points, config, serial);
+    ASSERT_EQ(batched.points.at(0).metrics.cores.size(), 2u);
+    expectIdentical(reference, batched);
+}

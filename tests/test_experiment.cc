@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/experiment.hh"
 #include "sim/metrics.hh"
 
@@ -12,6 +14,16 @@ TEST(Metrics, Geomean)
     EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
     EXPECT_NEAR(geomean({1.1, 1.2, 1.3}), 1.1972, 1e-3);
+    EXPECT_DOUBLE_EQ(geomean({2.5}), 2.5);
+}
+
+TEST(Metrics, GeomeanRejectsNonPositiveValues)
+{
+    // Never -inf/NaN: a non-positive or NaN element dies loudly, in
+    // every build type, naming the offending element.
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+    EXPECT_DEATH(geomean({-1.0}), "positive");
+    EXPECT_DEATH(geomean({2.0, std::nan(""), 3.0}), "positive");
 }
 
 TEST(Metrics, Mean)

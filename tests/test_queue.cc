@@ -257,6 +257,44 @@ TEST(WorkQueue, ExpiredLeaseIsReclaimedAndReclaimable)
     EXPECT_EQ(queue.doneRecord("slow-task")->owner, "healthy-worker");
 }
 
+TEST(WorkQueue, HeartbeatsKeepLongTaskAliveFarPastOriginalLease)
+{
+    // Regression guard for the worker's wall-clock heartbeat loop: a
+    // task whose runtime is many multiples of the lease must never be
+    // reclaimed while its worker heartbeats on schedule. This is the
+    // confluence_worker cadence (heartbeat at half the lease) on a
+    // fake clock, run out to 10x the original deadline.
+    const std::string dir = freshDir("longtask");
+    g_fakeNowMs = 1'000'000;
+    WorkQueue queue(dir);
+    queue.setClockForTesting(&fakeNow);
+
+    queue.enqueue(makeTask("long-task"));
+    auto claim = queue.claim("steady-worker", 10); // 10s lease
+    ASSERT_TRUE(claim.has_value());
+    const std::uint64_t original_deadline = claim->deadlineMs;
+
+    for (unsigned beat = 0; beat < 20; ++beat) {
+        g_fakeNowMs += 5'000; // half the lease per heartbeat
+        EXPECT_EQ(queue.reclaimExpired(), 0u)
+            << "reclaimed under a live heartbeat, beat " << beat;
+        EXPECT_EQ(queue.claim("thief", 10), std::nullopt)
+            << "claimable under a live heartbeat, beat " << beat;
+        ASSERT_TRUE(queue.heartbeat(*claim, 10))
+            << "lease lost despite on-schedule heartbeats, beat "
+            << beat;
+    }
+    // 100s of fake time have passed on a 10s lease.
+    EXPECT_GT(g_fakeNowMs, original_deadline + 80'000);
+    EXPECT_GT(claim->deadlineMs, original_deadline);
+    EXPECT_EQ(queue.claimedCount(), 1u);
+    EXPECT_EQ(queue.pendingCount(), 0u);
+
+    queue.complete(*claim, 0);
+    EXPECT_EQ(queue.doneRecord("long-task")->owner, "steady-worker");
+    EXPECT_EQ(queue.claimedCount(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Double completion is a no-op
 // ---------------------------------------------------------------------------

@@ -384,14 +384,53 @@ TEST(SweepioShard, ParseShardSpec)
     EXPECT_EQ(s.index, 2u);
     EXPECT_EQ(s.count, 5u);
 
-    EXPECT_EXIT(parseShardSpec("5/5"), ::testing::ExitedWithCode(1),
-                "out of range");
-    EXPECT_EXIT(parseShardSpec("nonsense"), ::testing::ExitedWithCode(1),
-                "shard spec");
-    EXPECT_EXIT(parseShardSpec("1/"), ::testing::ExitedWithCode(1),
-                "shard spec");
-    EXPECT_EXIT(parseShardSpec("/2"), ::testing::ExitedWithCode(1),
-                "shard spec");
+    const ShardSpec first = parseShardSpec("0/1");
+    EXPECT_EQ(first.index, 0u);
+    EXPECT_EQ(first.count, 1u);
+
+    // Largest representable spec: both fields fit in unsigned.
+    const ShardSpec wide = parseShardSpec("4294967294/4294967295");
+    EXPECT_EQ(wide.index, 4294967294u);
+    EXPECT_EQ(wide.count, 4294967295u);
+}
+
+TEST(SweepioShard, ParseShardSpecRejectsMalformedSpecs)
+{
+    // Every rejected spec must exit 1 (the documented contract — shard
+    // launchers key on the exit code) with a message matching the
+    // expected diagnostic.
+    struct BadSpec
+    {
+        const char *spec;
+        const char *message;
+    };
+    const BadSpec table[] = {
+        {"nonsense", "shard spec"},      // no slash
+        {"", "shard spec"},              // empty
+        {"1/", "shard spec"},            // missing count
+        {"/2", "shard spec"},            // missing index
+        {"/", "shard spec"},             // both missing
+        {"1/0", "at least 1"},           // zero shards
+        {"0/0", "at least 1"},           // zero shards, index 0
+        {"5/5", "out of range"},         // index == count
+        {"7/5", "out of range"},         // index > count
+        {"-1/5", "shard spec"},          // negative index
+        {"1/-5", "shard spec"},          // negative count
+        {"+1/5", "shard spec"},          // sign prefix (strtol allows)
+        {" 1/5", "shard spec"},          // whitespace (strtol allows)
+        {"1 /5", "shard spec"},          // embedded whitespace
+        {"0x1/5", "shard spec"},         // base prefix
+        {"1.5/5", "shard spec"},         // non-integer
+        {"1/5/2", "shard spec"},         // trailing garbage
+        {"4294967296/4294967297", "shard spec"},  // > unsigned range
+        {"1/99999999999999999999", "shard spec"}, // count overflow
+        {"99999999999999999999/7", "shard spec"}, // index overflow
+    };
+    for (const BadSpec &bad : table) {
+        EXPECT_EXIT(parseShardSpec(bad.spec),
+                    ::testing::ExitedWithCode(1), bad.message)
+            << "spec \"" << bad.spec << "\"";
+    }
 }
 
 TEST(SweepioShard, PartitionIsAnOrderedDisjointCover)

@@ -134,7 +134,61 @@ TEST(TraceCache, ZeroBudgetBypasses)
     TraceCache cache(0);
     EXPECT_EQ(cache.acquire(WorkloadId::DssQry, 7, 10'000), nullptr);
     EXPECT_EQ(cache.bypasses(), 1u);
+    EXPECT_EQ(cache.lookups(), 1u);
     EXPECT_EQ(cache.cachedBytes(), 0u);
+}
+
+TEST(TraceCache, CountersPartitionLookups)
+{
+    // hits + misses + bypasses == lookups must hold at every step: each
+    // acquire is classified as exactly one of the three.
+    TraceCache cache(256ull << 20);
+    const auto check = [&cache] {
+        EXPECT_EQ(cache.hits() + cache.misses() + cache.bypasses(),
+                  cache.lookups());
+    };
+    check();
+    EXPECT_EQ(cache.lookups(), 0u);
+
+    auto a = cache.acquire(WorkloadId::DssQry, 1, 10'000);  // miss
+    ASSERT_NE(a, nullptr);
+    check();
+    EXPECT_EQ(cache.misses(), 1u);
+
+    auto b = cache.acquire(WorkloadId::DssQry, 1, 10'000);  // hit
+    EXPECT_EQ(b.get(), a.get());
+    check();
+    EXPECT_EQ(cache.hits(), 1u);
+
+    cache.acquire(WorkloadId::DssQry, 2, 10'000);  // second miss
+    check();
+
+    cache.setBudgetBytes(0);
+    EXPECT_EQ(cache.acquire(WorkloadId::DssQry, 3, 10'000), nullptr);
+    check();
+    EXPECT_EQ(cache.bypasses(), 1u);
+    EXPECT_EQ(cache.lookups(), 4u);
+}
+
+TEST(TraceCache, PartitionHoldsUnderConcurrentAcquires)
+{
+    TraceCache cache(256ull << 20);
+    constexpr unsigned kThreads = 8;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&cache, t] {
+            // Two shared keys plus one per-thread key: exercises the
+            // generation race (double-checked hit) and plain misses.
+            cache.acquire(WorkloadId::OltpOracle, 1, 20'000);
+            cache.acquire(WorkloadId::OltpOracle, 2, 20'000);
+            cache.acquire(WorkloadId::OltpOracle, 100 + t, 20'000);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(cache.lookups(), 3u * kThreads);
+    EXPECT_EQ(cache.hits() + cache.misses() + cache.bypasses(),
+              cache.lookups());
 }
 
 TEST(TraceCache, BudgetEvictsIdleLru)
