@@ -21,8 +21,10 @@
  * single digits.
  *
  * Usage:
- *   perf_harness [--smoke] [--batched] [--iters N] [--out PATH]
- *                [--compare BASELINE [--min-ratio R]]
+ *   perf_harness [--smoke] [--batched] [--sampled] [--iters N]
+ *                [--out PATH]
+ *                [--compare BASELINE [--min-ratio R] [--strict]]
+ *                [--min-sampled-speedup S]
  *                [--dispatch SWEEP_BIN [--dispatch-workers N]]
  *                [--queue WORKER_BIN [--queue-workers N]]
  *
@@ -30,12 +32,21 @@
  *   --batched   extra timed phase: the same sweep through the batched
  *               trace-major runner (sim/batched), verified bit-identical
  *               against the scalar in-process sweep before it is timed
+ *   --sampled   extra timed phase: the same grid with SMARTS sampling
+ *               (defaultSamplingSpec), verified run-to-run bit-identical
+ *               and statistically against the exact reference — every
+ *               per-metric 95% CI must cover the exact value and the
+ *               sampled fig06 geomean speedup must sit within 2% of the
+ *               exact one
+ *   --min-sampled-speedup  fail unless sampled points/s is at least
+ *               S x cached points/s (CI's sampled-speedup gate)
  *   --iters     timing iterations per phase, best-of-N (default 3)
  *   --out       JSON output path (default BENCH_sweep.json)
  *   --compare   fail (exit 1) if cached points/sec drops below
- *               R x the baseline file's value (default R = 0.8); when
- *               the baseline records a "batched" phase and --batched
- *               ran, that phase is gated the same way
+ *               R x the baseline file's value (default R = 0.8); phases
+ *               measured here but absent from the baseline print a
+ *               "not gated" warning — with --strict that warning is an
+ *               error, so CI cannot silently lose a gate
  *   --dispatch  third timed phase: the same sweep through the shard
  *               dispatcher (src/dispatch) on a local subprocess pool
  *               running SWEEP_BIN, verified bit-identical against the
@@ -52,8 +63,10 @@
  * wrong must fail loudly.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -153,6 +166,9 @@ struct HarnessConfig
 {
     bool smoke = false;
     bool batched = false;
+    bool sampled = false;
+    bool strict = false;
+    double minSampledSpeedup = 0.0; ///< 0 = no floor
     unsigned iters = 3;
     std::string outPath = "BENCH_sweep.json";
     std::string comparePath;
@@ -190,7 +206,7 @@ buildPoints(const HarnessConfig &cfg, RunScale &scale_out)
     points.reserve(kinds.size() * workloads.size());
     for (const FrontendKind kind : kinds)
         for (const WorkloadId wl : workloads)
-            points.push_back({kind, wl, scale_out});
+            points.push_back({kind, wl, scale_out, SamplingSpec{}});
     return points;
 }
 
@@ -217,6 +233,35 @@ setTraceCacheEnabled(bool enabled)
 #else
     (void)enabled;
 #endif
+}
+
+/** First "model name" from /proc/cpuinfo, JSON-safe; "unknown" when
+ *  the file is absent (non-Linux) or has no such line. */
+std::string
+hostCpuModel()
+{
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("model name", 0) != 0)
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::string model = line.substr(colon + 1);
+        model.erase(0, model.find_first_not_of(" \t"));
+        std::string safe;
+        for (const char c : model) {
+            if (c == '"' || c == '\\')
+                safe += '\\';
+            if (static_cast<unsigned char>(c) >= 0x20)
+                safe += c;
+        }
+        if (!safe.empty())
+            return safe;
+        break;
+    }
+    return "unknown";
 }
 
 /** Minimal extractor: the number following "key": inside the object
@@ -314,11 +359,11 @@ harnessMain(const HarnessConfig &cfg)
                  cached.seconds, cached.pointsPerSec, cached.minstsPerSec,
                  warm_seconds, allocs_per_kinst);
 
-    // One in-process scalar reference serves the batched and
+    // One in-process scalar reference serves the batched, sampled, and
     // multi-process phases: the harness has already asserted results
     // are run-to-run identical.
     SweepResult reference;
-    if (cfg.batched || !cfg.dispatchSweepBin.empty() ||
+    if (cfg.batched || cfg.sampled || !cfg.dispatchSweepBin.empty() ||
         !cfg.queueWorkerBin.empty())
         reference = runTimingSweep(points, config, engine);
 
@@ -349,6 +394,185 @@ harnessMain(const HarnessConfig &cfg)
                      "Minsts/s  (bit-identical to scalar)\n",
                      batched.seconds, batched.pointsPerSec,
                      batched.minstsPerSec);
+    }
+
+    // Sampled phase (opt-in): the same grid with SMARTS sampling.
+    // Sampled results are not bit-comparable to exact ones — the gates
+    // are statistical: run-to-run determinism, per-metric CI coverage
+    // of the exact value, and a bounded geomean-speedup error.
+    PhaseResult sampled;
+    bool have_sampled = false;
+    double sampled_max_ipc_err = 0.0;
+    double sampled_geo_err = 0.0;
+    std::uint64_t sampled_intervals = 0;
+    if (cfg.sampled) {
+        std::vector<SweepPoint> spoints = points;
+        for (SweepPoint &p : spoints)
+            p.sampling = defaultSamplingSpec(p.scale);
+
+        SweepResult sampled_ref;
+        sampled.seconds = 1e300;
+        for (unsigned i = 0; i < cfg.iters; ++i) {
+            const auto start = Clock::now();
+            SweepResult r = runTimingSweep(spoints, config, engine);
+            const std::chrono::duration<double> elapsed =
+                Clock::now() - start;
+            if (i == 0)
+                sampled_ref = std::move(r);
+            else
+                cfl_assert(sweepio::encodeResult(r) ==
+                               sweepio::encodeResult(sampled_ref),
+                           "sampled sweep not run-to-run deterministic");
+            if (elapsed.count() < sampled.seconds)
+                sampled.seconds = elapsed.count();
+        }
+
+        // Coverage gate. Each estimator's CI is a per-metric 95%
+        // interval; this loop tests ~100 of them simultaneously, so an
+        // uncorrected gate would reject a correct sampler ~99% of the
+        // time (expect ~5 misses in 105 at 95%). The slack widens each
+        // test to a family-wise ~95% level (Sidak for ~100 tests means
+        // ~3.5 sigma total, i.e. ~1.5 sigma beyond the t interval)
+        // plus a 2% relative tolerance for residual warming bias,
+        // matching the sweep-level IPC-error budget, plus a per-metric
+        // discreteness quantum: an estimator built from short intervals
+        // cannot resolve biases below ~one miss event per interval
+        // (at 2k-inst intervals one L1-I miss is 0.5 MPKI, and one
+        // LLC-fill-plus-redirect event is ~32 cycles of CPI), which is
+        // exactly the scale of residual content-warming error on
+        // workloads whose footprint nearly fits a cache level.
+        const double interval_insts = static_cast<double>(
+            spoints.front().sampling.intervalInsts);
+        const double mpki_quantum = 1000.0 / interval_insts;
+        const double cpi_quantum = 32.0 / interval_insts;
+        unsigned uncovered = 0;
+        const auto check = [&](const SweepOutcome &o, const char *metric,
+                               const MetricEstimate &est, double exact,
+                               double quantum) {
+            const double slack = 1.5 * est.standardError() +
+                                 0.02 * std::abs(exact) + quantum;
+            if (est.covers(exact, slack))
+                return;
+            ++uncovered;
+            std::fprintf(stderr,
+                         "FAIL: (%s, %s) %s CI %.6f +- %.6f (+ slack "
+                         "%.6f) does not cover exact %.6f\n",
+                         frontendKindName(o.point.kind).c_str(),
+                         workloadSlug(o.point.workload).c_str(), metric,
+                         est.mean, est.halfWidth95(), slack, exact);
+        };
+        const auto mean_cpi = [](const CmpMetrics &m) {
+            double sum = 0.0;
+            for (const CoreMetrics &c : m.cores)
+                sum += c.retired > 0
+                           ? static_cast<double>(c.cycles) /
+                                 static_cast<double>(c.retired)
+                           : 0.0;
+            return m.cores.empty() ? 0.0 : sum / m.cores.size();
+        };
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const SweepOutcome &ex = reference.points[i];
+            const SweepOutcome &sa = sampled_ref.points[i];
+            const SampleEstimates &est = sa.metrics.sampling;
+            cfl_assert(est.valid(), "sampled outcome lacks estimators");
+            sampled_intervals = est.cpi.count;
+            check(sa, "cpi", est.cpi, mean_cpi(ex.metrics), cpi_quantum);
+            check(sa, "btb_mpki", est.btbMpki, ex.metrics.meanBtbMpki(),
+                  mpki_quantum);
+            check(sa, "l1i_mpki", est.l1iMpki, ex.metrics.meanL1iMpki(),
+                  mpki_quantum);
+            const double exact_ipc = ex.metrics.meanIpc();
+            if (exact_ipc > 0.0)
+                sampled_max_ipc_err = std::max(
+                    sampled_max_ipc_err,
+                    std::abs(est.ipcMean() - exact_ipc) / exact_ipc);
+            if (std::getenv("CFL_SAMPLING_PROFILE") != nullptr)
+                std::fprintf(stderr,
+                             "  point (%s, %s): ipc %.4f exact %.4f "
+                             "(err %.2f%%)\n",
+                             frontendKindName(sa.point.kind).c_str(),
+                             workloadSlug(sa.point.workload).c_str(),
+                             est.ipcMean(), exact_ipc,
+                             exact_ipc > 0.0
+                                 ? std::abs(est.ipcMean() - exact_ipc) /
+                                       exact_ipc * 100.0
+                                 : 0.0);
+        }
+        const double geo_exact = reference.geomeanSpeedup(
+            FrontendKind::Confluence, FrontendKind::Baseline);
+        const double geo_sampled = sampled_ref.geomeanSpeedup(
+            FrontendKind::Confluence, FrontendKind::Baseline);
+        sampled_geo_err = std::abs(geo_sampled - geo_exact) / geo_exact;
+
+        // The 2% budget below is a *bias* limit, calibrated on the
+        // quick grid; on smaller budgets (the smoke grid) estimator
+        // noise alone can exceed it with a perfectly unbiased sampler.
+        // Widen by the sampled geomean's own statistical resolution:
+        // each per-workload speedup is a ratio of two independent CPI
+        // estimates, so its relative variance is the sum of theirs,
+        // and the geomean's 1/W exponent shrinks the combined SE.
+        double ratio_rel_var_sum = 0.0;
+        unsigned n_ratios = 0;
+        for (const WorkloadId wl :
+             sampled_ref.workloadsOf(FrontendKind::Confluence)) {
+            const SweepOutcome *conf =
+                sampled_ref.find(FrontendKind::Confluence, wl);
+            const SweepOutcome *base =
+                sampled_ref.find(FrontendKind::Baseline, wl);
+            if (conf == nullptr || base == nullptr)
+                continue;
+            const MetricEstimate &ec = conf->metrics.sampling.cpi;
+            const MetricEstimate &eb = base->metrics.sampling.cpi;
+            if (ec.mean <= 0.0 || eb.mean <= 0.0)
+                continue;
+            const double rc = ec.standardError() / ec.mean;
+            const double rb = eb.standardError() / eb.mean;
+            ratio_rel_var_sum += rc * rc + rb * rb;
+            ++n_ratios;
+        }
+        const double geo_rel_se =
+            n_ratios > 0 ? std::sqrt(ratio_rel_var_sum) / n_ratios
+                         : 0.0;
+        const double geo_limit = 0.02 + 1.96 * geo_rel_se;
+
+        sampled.geomean = geo_sampled;
+        sampled.pointsPerSec = points.size() / sampled.seconds;
+        sampled.minstsPerSec = total_minsts / sampled.seconds;
+        have_sampled = true;
+        std::fprintf(stderr,
+                     "  sampled: %7.2fs  %6.2f points/s  (%.1fx vs "
+                     "cached; %llu intervals/point, max IPC err %.2f%%, "
+                     "geomean err %.2f%%)\n",
+                     sampled.seconds, sampled.pointsPerSec,
+                     sampled.pointsPerSec / cached.pointsPerSec,
+                     static_cast<unsigned long long>(sampled_intervals),
+                     sampled_max_ipc_err * 100.0,
+                     sampled_geo_err * 100.0);
+        if (uncovered > 0) {
+            std::fprintf(stderr,
+                         "FAIL: %u sampled metric(s) missed their exact "
+                         "value\n", uncovered);
+            return 1;
+        }
+        if (sampled_geo_err > geo_limit) {
+            std::fprintf(stderr,
+                         "FAIL: sampled geomean speedup %.5f deviates "
+                         "%.2f%% from exact %.5f (limit %.2f%% = 2%% "
+                         "bias + 1.96x geomean SE %.2f%%)\n",
+                         geo_sampled, sampled_geo_err * 100.0, geo_exact,
+                         geo_limit * 100.0, geo_rel_se * 100.0);
+            return 1;
+        }
+        if (cfg.minSampledSpeedup > 0.0 &&
+            sampled.pointsPerSec <
+                cfg.minSampledSpeedup * cached.pointsPerSec) {
+            std::fprintf(stderr,
+                         "FAIL: sampled speedup %.2fx below the "
+                         "--min-sampled-speedup floor %.2fx\n",
+                         sampled.pointsPerSec / cached.pointsPerSec,
+                         cfg.minSampledSpeedup);
+            return 1;
+        }
     }
 
     // Phase 3 (opt-in): the same sweep through the shard dispatcher on
@@ -466,6 +690,9 @@ harnessMain(const HarnessConfig &cfg)
          << "  \"smoke\": " << (cfg.smoke ? "true" : "false") << ",\n"
          << "  \"points\": " << points.size() << ",\n"
          << "  \"sim_insts_per_point\": " << sim_insts_per_point << ",\n"
+         << "  \"host\": {\"cpu_model\": \"" << hostCpuModel()
+         << "\", \"hw_threads\": "
+         << std::thread::hardware_concurrency() << "},\n"
          << "  \"jobs\": " << engine.jobs() << ",\n"
          << "  \"iterations\": " << cfg.iters << ",\n"
          << "  \"geomean_speedup\": " << live.geomean << ",\n"
@@ -483,6 +710,14 @@ harnessMain(const HarnessConfig &cfg)
              << ", \"minsts_per_sec\": " << batched.minstsPerSec
              << ", \"speedup_vs_cached\": "
              << batched.pointsPerSec / cached.pointsPerSec << "},\n";
+    if (have_sampled)
+        json << "  \"sampled\": {\"seconds\": " << sampled.seconds
+             << ", \"points_per_sec\": " << sampled.pointsPerSec
+             << ", \"speedup_vs_cached\": "
+             << sampled.pointsPerSec / cached.pointsPerSec
+             << ", \"intervals_per_point\": " << sampled_intervals
+             << ", \"max_rel_ipc_err\": " << sampled_max_ipc_err
+             << ", \"geomean_rel_err\": " << sampled_geo_err << "},\n";
     if (have_dispatched)
         json << "  \"dispatched\": {\"seconds\": " << dispatched.seconds
              << ", \"points_per_sec\": " << dispatched.pointsPerSec
@@ -531,7 +766,22 @@ harnessMain(const HarnessConfig &cfg)
         buf << in.rdbuf();
         const std::string baseline = buf.str();
 
-        const auto gate = [&](const char *phase, double measured) {
+        // Every phase measured here is gated when the baseline has its
+        // section. A missing section warns loudly — and is an error
+        // under --strict — instead of silently dropping the gate.
+        bool ungated = false;
+        const auto gate = [&](const char *phase, bool measured_here,
+                              double measured) {
+            if (!measured_here)
+                return true;
+            if (baseline.find("\"" + std::string(phase) + "\"") ==
+                std::string::npos) {
+                std::fprintf(stderr,
+                             "WARNING: phase %s not gated (no "
+                             "baseline)\n", phase);
+                ungated = true;
+                return true;
+            }
             const double base =
                 extractNumber(baseline, phase, "points_per_sec");
             const double floor = base * cfg.minRatio;
@@ -550,14 +800,18 @@ harnessMain(const HarnessConfig &cfg)
             return true;
         };
 
-        if (!gate("cached", cached.pointsPerSec))
+        if (!gate("cached", true, cached.pointsPerSec))
             return 1;
-        // Gate the batched phase only when both sides have it, so old
-        // baselines keep working and --batched-less runs stay green.
-        if (have_batched &&
-            baseline.find("\"batched\"") != std::string::npos &&
-            !gate("batched", batched.pointsPerSec))
+        if (!gate("batched", have_batched, batched.pointsPerSec))
             return 1;
+        if (!gate("sampled", have_sampled, sampled.pointsPerSec))
+            return 1;
+        if (ungated && cfg.strict) {
+            std::fprintf(stderr,
+                         "FAIL: --strict and at least one measured "
+                         "phase has no baseline section\n");
+            return 1;
+        }
     }
     return 0;
 }
@@ -579,6 +833,12 @@ main(int argc, char **argv)
             cfg.smoke = true;
         else if (arg == "--batched")
             cfg.batched = true;
+        else if (arg == "--sampled")
+            cfg.sampled = true;
+        else if (arg == "--strict")
+            cfg.strict = true;
+        else if (arg == "--min-sampled-speedup")
+            cfg.minSampledSpeedup = std::stod(value());
         else if (arg == "--iters")
             cfg.iters = static_cast<unsigned>(std::stoul(value()));
         else if (arg == "--out")

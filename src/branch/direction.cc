@@ -12,12 +12,6 @@ BimodalPredictor::BimodalPredictor(std::size_t entries)
     cfl_assert(isPowerOfTwo(entries), "bimodal entries must be 2^n");
 }
 
-std::size_t
-BimodalPredictor::index(Addr pc) const
-{
-    return (pc / kInstBytes) & (table_.size() - 1);
-}
-
 bool
 BimodalPredictor::predict(Addr pc)
 {
@@ -36,13 +30,6 @@ GsharePredictor::GsharePredictor(std::size_t entries, unsigned history_bits)
 {
     cfl_assert(isPowerOfTwo(entries), "gshare entries must be 2^n");
     cfl_assert(history_bits <= 32, "history too long");
-}
-
-std::size_t
-GsharePredictor::index(Addr pc) const
-{
-    const std::uint64_t h = history_ & mask(historyBits_);
-    return ((pc / kInstBytes) ^ h) & (table_.size() - 1);
 }
 
 bool
@@ -68,12 +55,6 @@ HybridPredictor::HybridPredictor(std::size_t gshare_entries,
       meta_(meta_entries, SatCounter2(2))  // slight initial gshare lean
 {
     cfl_assert(isPowerOfTwo(meta_entries), "meta entries must be 2^n");
-}
-
-std::size_t
-HybridPredictor::metaIndex(Addr pc) const
-{
-    return (pc / kInstBytes) & (meta_.size() - 1);
 }
 
 bool

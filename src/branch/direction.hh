@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitops.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -73,8 +74,24 @@ class BimodalPredictor : public DirectionPredictor
     bool predict(Addr pc) override;
     void update(Addr pc, bool outcome) override;
 
+    /** predict()+update() fused for sampled warming: one index
+     *  computation, no stat counters; state effects are identical.
+     *  Returns the prediction. */
+    bool
+    warm(Addr pc, bool outcome)
+    {
+        SatCounter2 &c = table_[index(pc)];
+        const bool pred = c.taken();
+        c.update(outcome);
+        return pred;
+    }
+
   private:
-    std::size_t index(Addr pc) const;
+    std::size_t
+    index(Addr pc) const
+    {
+        return (pc / kInstBytes) & (table_.size() - 1);
+    }
     std::vector<SatCounter2> table_;
 };
 
@@ -88,8 +105,27 @@ class GsharePredictor : public DirectionPredictor
     bool predict(Addr pc) override;
     void update(Addr pc, bool outcome) override;
 
+    /** predict()+update() fused for sampled warming: the index is
+     *  computed once with the pre-update history (exactly what the
+     *  predict-then-update sequence uses), no stat counters; state
+     *  effects are identical. Returns the prediction. */
+    bool
+    warm(Addr pc, bool outcome)
+    {
+        SatCounter2 &c = table_[index(pc)];
+        const bool pred = c.taken();
+        c.update(outcome);
+        history_ = (history_ << 1) | (outcome ? 1 : 0);
+        return pred;
+    }
+
   private:
-    std::size_t index(Addr pc) const;
+    std::size_t
+    index(Addr pc) const
+    {
+        const std::uint64_t h = history_ & mask(historyBits_);
+        return ((pc / kInstBytes) ^ h) & (table_.size() - 1);
+    }
     std::vector<SatCounter2> table_;
     unsigned historyBits_;
     std::uint64_t history_ = 0;
@@ -110,8 +146,27 @@ class HybridPredictor : public DirectionPredictor
     bool predict(Addr pc) override;
     void update(Addr pc, bool outcome) override;
 
+    /** predict()+update() fused for sampled warming (touch tier, one
+     *  call per conditional branch): no virtual dispatch, one index
+     *  computation per table, no stat counters. State effects —
+     *  component tables, gshare history, meta training, the remembered
+     *  component predictions — are identical to predict(pc) followed
+     *  by update(pc, outcome). */
+    void
+    warm(Addr pc, bool outcome)
+    {
+        lastGshare_ = gshare_.warm(pc, outcome);
+        lastBimodal_ = bimodal_.warm(pc, outcome);
+        if (lastGshare_ != lastBimodal_)
+            meta_[metaIndex(pc)].update(lastGshare_ == outcome);
+    }
+
   private:
-    std::size_t metaIndex(Addr pc) const;
+    std::size_t
+    metaIndex(Addr pc) const
+    {
+        return (pc / kInstBytes) & (meta_.size() - 1);
+    }
 
     GsharePredictor gshare_;
     BimodalPredictor bimodal_;

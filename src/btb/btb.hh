@@ -70,6 +70,24 @@ class Btb
     /** Install/refresh the entry for a decoded branch. */
     virtual void learn(Addr pc, BranchKind kind, Addr target, Cycle now) = 0;
 
+    /**
+     * Touch-only warming (sampled fast-forward): one taken branch of
+     * the architectural stream. Designs with a backing level much
+     * larger than the first (the two-level BTB's second level) install
+     * into that level here, because its content accumulates over far
+     * more stream than the full-fidelity warming window replays.
+     * Small structures do nothing: their content turns over fast
+     * enough that the full-fidelity window retrains them exactly, and
+     * warming them here with install-always would distort the
+     * lookup-driven recency order detailed mode produces.
+     */
+    virtual void warmTakenBranch(Addr pc, BranchKind kind, Addr target)
+    {
+        (void)pc;
+        (void)kind;
+        (void)target;
+    }
+
     /** L1-I fill notification (AirBTB bundle insertion). */
     virtual void
     onBlockFill(const PredecodedBlock &block, bool from_prefetch,

@@ -147,4 +147,17 @@ PhantomBtb::learn(Addr pc, BranchKind kind, Addr target, Cycle now)
     history_->recordMiss(coreId_, pc, data);
 }
 
+void
+PhantomBtb::warmTakenBranch(Addr pc, BranchKind kind, Addr target)
+{
+    // Miss-driven like learn(): only branches absent from the first
+    // level extend the temporal-group history, matching the detailed
+    // path's miss stream.
+    if (l1_.find(pc, /*update_lru=*/false) != nullptr)
+        return;
+    const BtbEntryData data{kind, target};
+    l1_.insert(pc, data);
+    history_->recordMiss(coreId_, pc, data);
+}
+
 } // namespace cfl

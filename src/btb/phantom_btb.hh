@@ -141,6 +141,13 @@ class PhantomBtb final : public Btb
     BtbLookupResult lookup(const DynInst &inst, Cycle now) override;
     void learn(Addr pc, BranchKind kind, Addr target, Cycle now) override;
 
+    /** Sampled-warming path: the virtualized temporal-group history
+     *  accumulates from the L1-miss stream over far more stream than
+     *  the full-fidelity window replays, so warming keeps feeding it
+     *  miss-driven — probing the (otherwise frozen) first level
+     *  without disturbing its recency order. */
+    void warmTakenBranch(Addr pc, BranchKind kind, Addr target) override;
+
     const PhantomBtbParams &params() const { return params_; }
 
   private:

@@ -65,4 +65,10 @@ TwoLevelBtb::learn(Addr pc, BranchKind kind, Addr target, Cycle now)
     l2_.insert(pc, data);
 }
 
+void
+TwoLevelBtb::warmTakenBranch(Addr pc, BranchKind kind, Addr target)
+{
+    l2_.insert(pc, BtbEntryData{kind, target});
+}
+
 } // namespace cfl

@@ -36,6 +36,12 @@ class TwoLevelBtb final : public Btb
     BtbLookupResult lookup(const DynInst &inst, Cycle now) override;
     void learn(Addr pc, BranchKind kind, Addr target, Cycle now) override;
 
+    /** Sampled-warming path: the 16K-entry second level accumulates
+     *  content over far more stream than the full-fidelity window
+     *  replays, so it keeps learning while the first level stays
+     *  frozen (it turns over fast enough to retrain exactly). */
+    void warmTakenBranch(Addr pc, BranchKind kind, Addr target) override;
+
     const TwoLevelBtbParams &params() const { return params_; }
 
   private:

@@ -1,7 +1,12 @@
 #include "confluence/cmp.hh"
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include "btb/ideal_btb.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "trace/trace_cache.hh"
 
 namespace cfl
@@ -42,6 +47,54 @@ pickRunner(const Btb &btb)
         return &runTyped<PerfectBtb>;
     return &runTyped<Btb>;
 }
+
+/** Fast-forward loop with the BTB's concrete type baked in (see
+ *  Frontend::fastForward); resolved like pickRunner. */
+using CoreSkipper = void (*)(Frontend &, Counter);
+
+template <typename BtbT>
+void
+skipTyped(Frontend &fe, Counter insts)
+{
+    fe.fastForward<BtbT>(insts);
+}
+
+CoreSkipper
+pickSkipper(const Btb &btb)
+{
+    if (dynamic_cast<const ConventionalBtb *>(&btb) != nullptr)
+        return &skipTyped<ConventionalBtb>;
+    if (dynamic_cast<const TwoLevelBtb *>(&btb) != nullptr)
+        return &skipTyped<TwoLevelBtb>;
+    if (dynamic_cast<const PhantomBtb *>(&btb) != nullptr)
+        return &skipTyped<PhantomBtb>;
+    if (dynamic_cast<const AirBtb *>(&btb) != nullptr)
+        return &skipTyped<AirBtb>;
+    if (dynamic_cast<const PerfectBtb *>(&btb) != nullptr)
+        return &skipTyped<PerfectBtb>;
+    return &skipTyped<Btb>;
+}
+
+/** Sum @p add's counters into @p into (sampled runs aggregate the
+ *  measured intervals' counters into one union window). */
+void
+accumulateCore(CoreMetrics &into, const CoreMetrics &add)
+{
+    into.retired += add.retired;
+    into.cycles += add.cycles;
+    into.btbTakenLookups += add.btbTakenLookups;
+    into.btbTakenMisses += add.btbTakenMisses;
+    into.misfetches += add.misfetches;
+    into.condMispredicts += add.condMispredicts;
+    into.l1iDemandFetches += add.l1iDemandFetches;
+    into.l1iDemandMisses += add.l1iDemandMisses;
+    into.l1iInFlightHits += add.l1iInFlightHits;
+    into.btbL2StallCycles += add.btbL2StallCycles;
+    into.fetchMissStallCycles += add.fetchMissStallCycles;
+}
+
+double gTouchSec = 0.0, gFullSec = 0.0;
+Counter gTouchInsts = 0, gFullInsts = 0;
 
 } // namespace
 
@@ -218,6 +271,201 @@ Cmp::run(Counter warmup_insts, Counter measure_insts)
     runWarmup(warmup_insts);
     runMeasurement(measure_insts);
     return collectMetrics();
+}
+
+void
+Cmp::runDetailedDelta(Counter delta)
+{
+    if (delta == 0)
+        return;
+    if (cores_.size() == 1) {
+        CoreSim &core = *cores_[0];
+        pickRunner(core.btb())(core.frontend(),
+                               core.frontend().measuredRetired() + delta);
+        return;
+    }
+
+    // Lockstep round-robin with per-core absolute targets: each core's
+    // own current position plus delta (positions drift apart because
+    // fast-forward never splits a fetch region).
+    std::vector<Counter> targets(cores_.size());
+    for (std::size_t c = 0; c < cores_.size(); ++c)
+        targets[c] = cores_[c]->frontend().measuredRetired() + delta;
+    while (true) {
+        bool any_running = false;
+        for (std::size_t c = 0; c < cores_.size(); ++c) {
+            if (cores_[c]->frontend().measuredRetired() < targets[c]) {
+                cores_[c]->frontend().tick();
+                any_running = true;
+            }
+        }
+        if (!any_running)
+            return;
+    }
+}
+
+void
+Cmp::fastForwardAll(Counter delta)
+{
+    // Stream distance closer to the next measured interval than this
+    // always crosses the full-fidelity fastForward path. The touch tier
+    // keeps content and per-branch predictor state warm, but not what
+    // only real lookups produce: first-level BTB recency, prefetch
+    // engine streams and error rates, and in-flight fill timing. This
+    // window rebuilds those; shrinking it below ~6k re-biases the
+    // FDP-paired points (the error EWMA integrates the residual relearn
+    // transient over ~20k instructions).
+    constexpr Counter kPredictorWarmInsts = 6'000;
+
+    // Stream distance beyond this (plus the full-fidelity window) is
+    // skipped outright, with no warming at all: the touch window
+    // re-installs every block the skipped stretch would have (the
+    // instruction working set cycles much faster than this), and the
+    // SHIFT history ring's reach is far shorter, so the recorded
+    // metadata the touch window writes is what the skipped stretch
+    // would have left behind anyway.
+    constexpr Counter kTouchWarmInsts = 256'000;
+
+    if (delta == 0)
+        return;
+    static const bool kProf =
+        std::getenv("CFL_SAMPLING_PROFILE") != nullptr;
+    for (auto &core : cores_) {
+        Frontend &fe = core->frontend();
+        Counter remaining = delta;
+        if (remaining > kTouchWarmInsts + kPredictorWarmInsts) {
+            const Counter skipped = fe.fastForwardSkip(
+                remaining - kTouchWarmInsts - kPredictorWarmInsts);
+            remaining = skipped < remaining ? remaining - skipped : 0;
+        }
+        if (remaining > kPredictorWarmInsts) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const Counter touched =
+                fe.fastForwardTouch(remaining - kPredictorWarmInsts);
+            if (kProf) {
+                gTouchSec +=
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+                gTouchInsts += touched;
+            }
+            remaining = touched < remaining ? remaining - touched : 0;
+        }
+        if (remaining > 0) {
+            const auto t0 = std::chrono::steady_clock::now();
+            pickSkipper(core->btb())(fe, remaining);
+            if (kProf) {
+                gFullSec += std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+                gFullInsts += remaining;
+            }
+        }
+    }
+}
+
+CmpMetrics
+Cmp::runSampled(Counter warmup_insts, Counter measure_insts,
+                const SamplingSpec &spec)
+{
+    cfl_assert(spec.enabled(), "runSampled with a disabled SamplingSpec");
+    cfl_assert(spec.intervalInsts > 0, "sampling interval must be > 0");
+    cfl_assert(spec.periodInsts >=
+                   spec.intervalInsts + spec.detailedWarmupInsts,
+               "sampling period (%llu) must cover interval (%llu) + "
+               "detailed warmup (%llu)",
+               static_cast<unsigned long long>(spec.periodInsts),
+               static_cast<unsigned long long>(spec.intervalInsts),
+               static_cast<unsigned long long>(spec.detailedWarmupInsts));
+
+    const Counter total = warmup_insts + measure_insts;
+    prepareTraces(total);
+
+    const Counter unit = spec.intervalInsts;
+    const Counter warm = spec.detailedWarmupInsts;
+    const Counter period = spec.periodInsts;
+
+    // Systematic sampling with a deterministic random phase: interval i
+    // measures [start_i, start_i + unit) of the nominal stream, with
+    // start_i = warmup + phase + i * period. The phase decorrelates the
+    // schedule from stream periodicity yet is a pure function of
+    // (seed base, rng stream), so sampled runs are bit-reproducible.
+    // phase >= warm keeps the first detailed warmup inside the budget.
+    Rng rng(hashCombine(seedBase_,
+                        hashCombine(0x5a3317ull, spec.rngStream)));
+    const Counter phase =
+        warm + rng.nextBelow(period - unit - warm + 1);
+
+    std::uint64_t n_intervals = 0;
+    for (Counter s = warmup_insts + phase; s + unit <= total; s += period)
+        ++n_intervals;
+    cfl_assert(n_intervals >= 2,
+               "sampling spec yields %llu measured interval(s); at "
+               "least 2 are needed for a confidence interval — shrink "
+               "periodInsts or grow the measure budget",
+               static_cast<unsigned long long>(n_intervals));
+
+    CmpMetrics agg;
+    agg.cores.resize(numCores());
+
+    const bool profile = std::getenv("CFL_SAMPLING_PROFILE") != nullptr;
+    double ff_sec = 0.0, det_sec = 0.0;
+    Counter ff_insts = 0, det_insts = 0;
+
+    Counter pos = 0; // nominal stream position already covered
+    for (std::uint64_t i = 0; i < n_intervals; ++i) {
+        const Counter start = warmup_insts + phase + i * period;
+        const Counter warm_start = start - warm;
+        if (profile) {
+            const auto t0 = std::chrono::steady_clock::now();
+            fastForwardAll(warm_start - pos);
+            const auto t1 = std::chrono::steady_clock::now();
+            runDetailedDelta(warm);
+            for (auto &core : cores_)
+                core->beginMeasurement();
+            runDetailedDelta(unit);
+            const auto t2 = std::chrono::steady_clock::now();
+            ff_sec += std::chrono::duration<double>(t1 - t0).count();
+            det_sec += std::chrono::duration<double>(t2 - t1).count();
+            ff_insts += warm_start - pos;
+            det_insts += warm + unit;
+        } else {
+            fastForwardAll(warm_start - pos);
+            runDetailedDelta(warm);
+            for (auto &core : cores_)
+                core->beginMeasurement();
+            runDetailedDelta(unit);
+        }
+        pos = start + unit;
+
+        const CmpMetrics interval = collectMetrics();
+        for (unsigned c = 0; c < numCores(); ++c)
+            accumulateCore(agg.cores[c], interval.cores[c]);
+        // CPI, not IPC: intervals retire equal instruction counts, so
+        // mean-of-CPIs is the union window's CPI (linear, unbiased);
+        // mean-of-IPCs would be Jensen-biased high.
+        double cpi_sum = 0.0;
+        for (const CoreMetrics &c : interval.cores)
+            cpi_sum += c.retired > 0
+                           ? static_cast<double>(c.cycles) /
+                                 static_cast<double>(c.retired)
+                           : 0.0;
+        agg.sampling.cpi.add(cpi_sum /
+                             static_cast<double>(interval.cores.size()));
+        agg.sampling.btbMpki.add(interval.meanBtbMpki());
+        agg.sampling.l1iMpki.add(interval.meanL1iMpki());
+    }
+    if (profile)
+        std::fprintf(stderr,
+                     "sampling profile [%s]: ff %.1f Minsts/s (%.3fs), "
+                     "detailed %.1f Minsts/s (%.3fs) | cumulative "
+                     "touch %.1f M/s (%.3fs) full %.1f M/s (%.3fs)\n",
+                     cores_.front()->btb().name().c_str(),
+                     ff_insts / ff_sec / 1e6, ff_sec,
+                     det_insts / det_sec / 1e6, det_sec,
+                     gTouchInsts / gTouchSec / 1e6, gTouchSec,
+                     gFullInsts / gFullSec / 1e6, gFullSec);
+    return agg;
 }
 
 } // namespace cfl

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "confluence/factory.hh"
+#include "sim/sampling.hh"
 
 namespace cfl
 {
@@ -56,6 +57,14 @@ struct CmpMetrics
 {
     std::vector<CoreMetrics> cores;
 
+    /**
+     * Per-metric confidence estimators of a sampled run (one
+     * observation per measured interval); empty after an exact run.
+     * The counters in `cores` always hold the union of the measured
+     * windows, so meanIpc() etc. are point estimates either way.
+     */
+    SampleEstimates sampling;
+
     double meanIpc() const;
     double meanBtbMpki() const;
     double meanL1iMpki() const;
@@ -84,6 +93,21 @@ class Cmp
      * return collectMetrics().
      */
     CmpMetrics run(Counter warmup_insts, Counter measure_insts);
+
+    /**
+     * SMARTS-style sampled equivalent of run(): the same instruction
+     * budget, but only short detailed intervals are cycle-simulated.
+     * The gaps are covered by functional fast-forward (branch history,
+     * BTB, and cache state advance; no timing), each interval is
+     * preceded by spec.detailedWarmupInsts of detailed warmup, and each
+     * interval contributes one observation to the returned estimators
+     * (metrics.sampling). The interval schedule is a pure function of
+     * (spec, seed base), so sampled runs are bit-reproducible; they are
+     * *not* bit-comparable to exact runs — that is what the estimators'
+     * confidence intervals are for.
+     */
+    CmpMetrics runSampled(Counter warmup_insts, Counter measure_insts,
+                          const SamplingSpec &spec);
 
     // Stepping API: run() split into its four phases so batched sweep
     // drivers (sim/batched.cc) can hoist trace acquisition out of the
@@ -121,6 +145,14 @@ class Cmp
   private:
     /** Tick every unfinished core until each retires @p target. */
     void runUntilRetired(Counter target);
+
+    /** Detailed-simulate @p delta more retired instructions per core
+     *  from wherever each core currently stands. */
+    void runDetailedDelta(Counter delta);
+
+    /** Functionally fast-forward every core by @p delta instructions
+     *  (see Frontend::fastForward). */
+    void fastForwardAll(Counter delta);
 
     SystemConfig config_;
     WorkloadId workload_;

@@ -20,6 +20,7 @@ Bpu::Bpu(const BpuParams &params, Btb &btb, DirectionPredictor &direction,
     : params_(params),
       btb_(btb),
       direction_(direction),
+      hybridDir_(dynamic_cast<HybridPredictor *>(&direction)),
       ras_(ras),
       itc_(itc),
       engine_(engine),
@@ -71,6 +72,195 @@ Bpu::predictNextRegion(Cycle now)
     // Virtual-dispatch entry point; the typed core runner calls
     // predictNextRegionT<ConcreteBtb> directly.
     return predictNextRegionT<Btb>(now);
+}
+
+Counter
+Bpu::touchStream(Counter insts, InstMemory &mem, InstPrefetcher *pf,
+                 Cycle &now)
+{
+    const TraceBuffer *trace = engine_.replayBuffer();
+    if (trace == nullptr)
+        return touchStreamGenerated(insts, mem, pf, now);
+    if (engine_.peekPending())
+        return 0;
+
+    const std::uint64_t limit = trace->size();
+    const std::uint32_t *bpos = trace->branchPositions();
+    const std::uint64_t nbr = trace->numBranches();
+    const unsigned max_insts = params_.maxRegionInsts;
+
+    const std::uint64_t start = engine_.replayCursor();
+    std::uint64_t pos = start;
+    std::uint64_t h =
+        std::lower_bound(bpos, bpos + nbr, pos) - bpos;
+    // Consecutive regions usually stay inside one block; a repeated
+    // probe of the block just touched is a hit that re-marks an
+    // already-MRU line, so eliding it leaves cache state identical.
+    Addr last_block = ~Addr{0};
+    DynInst inst;
+
+    while (pos - start < insts && pos < limit) {
+        const Addr start_pc = trace->pcAt(pos);
+        unsigned ninsts = 0;
+        // Regions split at taken branches and the detailed-mode length
+        // cap; the touched block stream is identical either way. Every
+        // consumed branch warms the per-branch predictor state
+        // (warmBranch); taken branches additionally feed the BTB's
+        // large-backing-level hook (see Btb::warmTakenBranch).
+        while (true) {
+            const std::uint64_t next_branch = h < nbr ? bpos[h] : limit;
+            const std::uint64_t cap_end = pos + (max_insts - ninsts);
+            if (next_branch >= cap_end || next_branch >= limit) {
+                const std::uint64_t end = std::min(cap_end, limit);
+                ninsts += static_cast<unsigned>(end - pos);
+                pos = end;
+                break;
+            }
+            ninsts += static_cast<unsigned>(next_branch - pos) + 1;
+            pos = next_branch + 1;
+            ++h;
+            if (!trace->takenAt(next_branch)) {
+                // Not-taken ⇒ conditional: the direction predictor is
+                // the only per-branch state it updates, and only the
+                // pc column is needed (see warmBranch).
+                warmDirection(trace->pcAt(next_branch), false);
+                if (ninsts >= max_insts)
+                    break;
+                continue;
+            }
+            trace->read(next_branch, inst);
+            warmBranch(inst);
+            break;
+        }
+
+        // Content-only memory warming: demand touches install the same
+        // blocks as detailed fetch, and the prefetcher's warm hook
+        // replays its content effects (fills, pollution, recorded
+        // metadata) without any timing state.
+        const BlockRange blocks = blockRangeOf(start_pc, ninsts);
+        for (const Addr block : blocks) {
+            if (block == last_block)
+                continue;
+            last_block = block;
+            const bool hit = mem.warmTouch(block, now);
+            if (pf != nullptr)
+                pf->onWarmAccess(block, now, /*miss=*/!hit);
+        }
+        now += std::max<Counter>(ninsts, 1);
+    }
+
+    const Counter consumed = pos - start;
+    instsStat_->inc(consumed);
+    engine_.skipReplay(consumed);
+    return consumed;
+}
+
+Counter
+Bpu::touchStreamGenerated(Counter insts, InstMemory &mem,
+                          InstPrefetcher *pf, Cycle &now)
+{
+    // Mirror of the trace-column walk above, consuming the engine
+    // live. Region boundaries (taken branches, the detailed-mode
+    // length cap) and every warm call match instruction for
+    // instruction, so a trace-cache bypass leaves bit-identical state.
+    const unsigned max_insts = params_.maxRegionInsts;
+    Addr last_block = ~Addr{0};
+    Counter consumed = 0;
+
+    while (consumed < insts) {
+        const Addr start_pc = engine_.peek().pc;
+        unsigned ninsts = 0;
+        while (true) {
+            const DynInst &di = engine_.next();
+            ++ninsts;
+            if (di.kind == BranchKind::None) {
+                if (ninsts >= max_insts)
+                    break;
+                continue;
+            }
+            if (!di.taken) {
+                warmDirection(di.pc, false);
+                if (ninsts >= max_insts)
+                    break;
+                continue;
+            }
+            warmBranch(di);
+            break;
+        }
+
+        const BlockRange blocks = blockRangeOf(start_pc, ninsts);
+        for (const Addr block : blocks) {
+            if (block == last_block)
+                continue;
+            last_block = block;
+            const bool hit = mem.warmTouch(block, now);
+            if (pf != nullptr)
+                pf->onWarmAccess(block, now, /*miss=*/!hit);
+        }
+        now += std::max<Counter>(ninsts, 1);
+        consumed += ninsts;
+    }
+
+    instsStat_->inc(consumed);
+    return consumed;
+}
+
+void
+Bpu::warmBranch(const DynInst &inst)
+{
+    // Mirror handleBranch's per-branch state updates without any BTB
+    // lookup or timing. These structures are updated on *every*
+    // encounter in the detailed path (no lookup-driven recency to
+    // distort), and the direction predictor's history/meta state feeds
+    // the misprediction rate that FDP's error EWMA integrates over
+    // ~20k instructions — longer than the full-fidelity window — so
+    // leaving them frozen turns each window's relearn storm into a
+    // persistent prefetch-throttle bias.
+    switch (inst.kind) {
+      case BranchKind::Cond:
+        warmDirection(inst.pc, inst.taken);
+        break;
+      case BranchKind::Call:
+        ras_.push(inst.fallThrough());
+        break;
+      case BranchKind::Return:
+        (void)ras_.pop();
+        break;
+      case BranchKind::IndJump:
+      case BranchKind::IndCall:
+        itc_.update(inst.pc, inst.target);
+        if (isCall(inst.kind))
+            ras_.push(inst.fallThrough());
+        break;
+      case BranchKind::Uncond:
+      case BranchKind::None:
+        break;
+    }
+    if (inst.taken)
+        btb_.warmTakenBranch(inst.pc, inst.kind,
+                             hasDirectTarget(inst.kind) ? inst.target : 0);
+}
+
+Counter
+Bpu::skipStream(Counter insts, Cycle &now)
+{
+    const TraceBuffer *trace = engine_.replayBuffer();
+    if (trace == nullptr) {
+        // Generation mode: generate and discard. Bit-identical to the
+        // replay-cursor skip — the subsequent stream is the same.
+        engine_.fastForward(insts);
+        instsStat_->inc(insts);
+        now += insts;
+        return insts;
+    }
+    if (engine_.peekPending())
+        return 0;
+    const Counter available = trace->size() - engine_.replayCursor();
+    const Counter consumed = std::min(insts, available);
+    instsStat_->inc(consumed);
+    engine_.skipReplay(consumed);
+    now += consumed;
+    return consumed;
 }
 
 } // namespace cfl

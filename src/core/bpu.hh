@@ -37,6 +37,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "mem/hierarchy.hh"
+#include "prefetch/prefetcher.hh"
 #include "trace/engine.hh"
 #include "trace/trace_buffer.hh"
 
@@ -122,7 +123,48 @@ class Bpu
     /** Oracle instructions consumed so far. */
     Counter instsConsumed() const { return stats_.get("insts"); }
 
+    /**
+     * Touch-only functional advance of ~@p insts instructions over a
+     * replayed trace (sampled fast-forward, far from any measured
+     * interval): regions are derived from the predecode index's taken
+     * branches and their blocks touched in @p mem, with @p pf seeing
+     * each block transition through onWarmAccess — so long-lived
+     * state (L1-I/LLC content, recorded prefetch metadata) sees every
+     * access. Per-branch predictor state (direction predictor, RAS,
+     * ITC, the BTB's large backing levels) is kept warm through
+     * warmBranch; no BTB lookups, misprediction accounting, or
+     * speculative prefetch-engine activity happens — those are
+     * short-lived and relearned by the full-fidelity warming window
+     * that always follows. @p now advances ~1 inst/cycle like
+     * fastForward. May overshoot by up to one region; returns
+     * instructions consumed. Over a buffered prefix the walk jumps
+     * branch to branch through the trace columns; in generation mode
+     * it consumes the engine live with the identical region/warming
+     * sequence, so trace-cache hits and bypasses stay bit-identical
+     * (only the speed differs). Returns short when the buffered
+     * prefix ends — the caller covers the remainder.
+     */
+    Counter touchStream(Counter insts, InstMemory &mem,
+                        InstPrefetcher *pf, Cycle &now);
+
+    /**
+     * Pure stream skip of up to @p insts instructions over a replayed
+     * trace: the replay cursor advances with no state touched at all —
+     * not even cache content. Used by sampled fast-forward for stream
+     * distance beyond the touch window, where even content warming is
+     * unnecessary (everything the skipped stretch would install is
+     * re-installed by the touch window that always follows). @p now
+     * advances ~1 inst/cycle. In generation mode the engine generates
+     * and discards instead — slower, bit-identical. Returns
+     * instructions skipped (short only at a buffered prefix's end).
+     */
+    Counter skipStream(Counter insts, Cycle &now);
+
   private:
+    /** Generation-mode touchStream: the same region walk driven by
+     *  live engine consumption instead of the trace columns. */
+    Counter touchStreamGenerated(Counter insts, InstMemory &mem,
+                                 InstPrefetcher *pf, Cycle &now);
     /**
      * Predict/train on one branch instruction; returns true when the
      * branch ends the region (taken, misfetch, or mispredict). Shared
@@ -140,9 +182,33 @@ class Bpu
      *  (misfetch): trains predictors, fixes RAS/ITC, learns the BTB. */
     void resolveMisfetchedBranch(const DynInst &inst, Cycle now);
 
+    /** Touch-tier per-branch warming: direction predictor, RAS, ITC,
+     *  and the BTB's large-backing-level hook — no lookups, no timing.
+     *  See the definition for why freezing these biases FDP. */
+    void warmBranch(const DynInst &inst);
+
+    /** Direction-predictor warming: predict() then update(), as on the
+     *  (dominant) BTB-hit path — refreshes the component predictions
+     *  meta trains on and advances the gshare history. Uses the fused
+     *  non-virtual HybridPredictor::warm when available (always, in
+     *  practice: every preset builds a HybridPredictor). */
+    void
+    warmDirection(Addr pc, bool outcome)
+    {
+        if (hybridDir_ != nullptr) {
+            hybridDir_->warm(pc, outcome);
+        } else {
+            (void)direction_.predict(pc);
+            direction_.update(pc, outcome);
+        }
+    }
+
     BpuParams params_;
     Btb &btb_;
     DirectionPredictor &direction_;
+    /** Concrete type of direction_ when it is the standard hybrid —
+     *  warming fast path only; never used on the measured path. */
+    HybridPredictor *hybridDir_ = nullptr;
     ReturnAddressStack &ras_;
     IndirectTargetCache &itc_;
     ExecEngine &engine_;

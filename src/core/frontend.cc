@@ -46,6 +46,48 @@ Frontend::beginMeasurement()
 }
 
 void
+Frontend::squashForFastForward()
+{
+    // In-flight pipeline contents are stale after a functional gap;
+    // drop them rather than retire them, and clear every stall so the
+    // post-gap detailed warmup starts from a clean (cold-pipeline,
+    // warm-state) frontend.
+    while (!fetchQueue_.empty())
+        fetchQueue_.pop_front();
+    while (!replay_.empty())
+        replay_.pop_front();
+    fetchOffset_ = 0;
+    queueBranches_ = 0;
+    curFetchBlock_ = ~0ull;
+    decodeBufferInsts_ = 0;
+    burstConsumed_ = 0;
+    dataStallLeft_ = 0;
+    fetchStallUntil_ = 0;
+    stallIsBubble_ = false;
+    bpuStallUntil_ = 0;
+    fetchAheadIdle_ = false;
+}
+
+Counter
+Frontend::fastForwardTouch(Counter insts)
+{
+    squashForFastForward();
+    const Counter consumed =
+        bpu_.touchStream(insts, mem_, prefetcher_, cycle_);
+    retired_ += consumed;
+    return consumed;
+}
+
+Counter
+Frontend::fastForwardSkip(Counter insts)
+{
+    squashForFastForward();
+    const Counter consumed = bpu_.skipStream(insts, cycle_);
+    retired_ += consumed;
+    return consumed;
+}
+
+void
 Frontend::tickBackend()
 {
     // Data-stall window: the OoO backend is blocked on memory; it

@@ -28,6 +28,7 @@
 #define CFL_CORE_FRONTEND_HH
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/ring.hh"
 #include "core/bpu.hh"
@@ -90,6 +91,44 @@ class Frontend
      */
     template <typename BtbT> void runUntil(Counter target);
 
+    /**
+     * Functionally advance at least @p insts instructions without
+     * cycle-level timing (SMARTS functional warming). The decoupled
+     * pipeline state (fetch queue, decode buffer, stalls) is squashed —
+     * a long functional gap makes it stale, and the detailed warmup
+     * before the next measured interval refills it — then the BPU walks
+     * the oracle stream region by region, training the BTB, direction
+     * predictor, RAS, and ITC exactly as detailed mode would, touching
+     * every fetched block in the L1-I/LLC, and feeding the prefetcher
+     * the same region/outcome/access events. Nominal time advances at
+     * ~1 inst/cycle so fill/prefetch latencies span about the same
+     * instruction distance as detailed mode; no stall or backend
+     * timing is simulated.
+     * May overshoot by up to one region (a region is never split).
+     */
+    template <typename BtbT> void fastForward(Counter insts);
+
+    /**
+     * Touch-only fast-forward of ~@p insts instructions (see
+     * Bpu::touchStream): advances the stream keeping caches and
+     * prefetch metadata warm but leaving predictor structures frozen.
+     * Only used for stream distance that a full-fidelity fastForward()
+     * window still separates from the next measured interval. Returns
+     * instructions actually consumed (possibly 0 — e.g. live
+     * generation mode); the caller covers the rest with fastForward().
+     */
+    Counter fastForwardTouch(Counter insts);
+
+    /**
+     * Pure stream skip of up to @p insts instructions (see
+     * Bpu::skipStream): no state is warmed at all. Only used for
+     * stream distance beyond the touch window — every block the
+     * skipped stretch would install is re-installed by the touch
+     * window that always follows. Returns instructions actually
+     * consumed (possibly 0).
+     */
+    Counter fastForwardSkip(Counter insts);
+
     /** Instructions retired so far. */
     Counter retired() const { return retired_; }
 
@@ -112,6 +151,7 @@ class Frontend
     void tickFetch();
     template <typename BtbT> void tickBpuImpl();
     void fetchAheadUnderStall();
+    void squashForFastForward();
 
     /**
      * True while the last full fetch-ahead scan found every block in
@@ -236,6 +276,45 @@ Frontend::tickImpl()
     tickBackend();
     tickFetch();
     tickBpuImpl<BtbT>();
+}
+
+template <typename BtbT>
+inline void
+Frontend::fastForward(Counter insts)
+{
+    squashForFastForward();
+    Counter done = 0;
+    while (done < insts) {
+        const BpuResult res = bpu_.predictNextRegionT<BtbT>(cycle_);
+        // The prefetcher sees the region before the demand accesses, as
+        // in detailed mode (the BPU emits ahead of the fetch unit), so
+        // prefetched blocks are in flight when the demand touch lands.
+        if (prefetcher_ != nullptr) {
+            prefetcher_->onFetchRegion(res.region.blockRange(),
+                                       /*unresolved_branches=*/0, cycle_);
+            const unsigned errors =
+                (res.misfetch ? 1u : 0u) + (res.mispredict ? 1u : 0u);
+            prefetcher_->onBranchOutcome(res.region.numBranches, errors);
+        }
+        for (const Addr block : res.region.blockRange()) {
+            const InstMemory::FetchResult fr =
+                mem_.demandFetch(block, cycle_);
+            if (prefetcher_ != nullptr) {
+                if (!fr.l1Hit && !fr.wasInFlight)
+                    prefetcher_->onDemandMiss(block, cycle_);
+                prefetcher_->onDemandAccess(block, cycle_);
+            }
+        }
+        // Advance nominal time at ~1 inst/cycle — within 2x of the
+        // detailed-mode rate — so in-flight fills and prefetches land
+        // after roughly the same instruction distance as they would in
+        // detailed mode. One cycle per region (~6 insts) would make
+        // latencies appear several times longer in instruction time,
+        // biasing the cache state the next interval measures.
+        cycle_ += std::max<Counter>(res.region.numInsts, 1);
+        done += res.region.numInsts;
+        retired_ += res.region.numInsts;
+    }
 }
 
 template <typename BtbT>

@@ -113,6 +113,48 @@ InstMemory::demandFetch(Addr block_addr, Cycle now)
     return out;
 }
 
+bool
+InstMemory::warmTouch(Addr block_addr, Cycle now)
+{
+    demandFetchesStat_->inc();
+    if (params_.perfectL1I) {
+        demandHitsStat_->inc();
+        return true;
+    }
+    if (l1i_.access(block_addr)) {
+        demandHitsStat_->inc();
+        return true;
+    }
+    demandMissesStat_->inc();
+    const Llc::Access llc_access = llc_.access(block_addr);
+    (llc_access.hit ? fillsFromLlcStat_ : fillsFromMemoryStat_)->inc();
+    l1i_.insert(block_addr);
+    ++installSeq_;
+    if (fillHook_)
+        fillHook_(block_addr, /*from_prefetch=*/false,
+                  now + llc_access.latency);
+    return false;
+}
+
+void
+InstMemory::warmPrefetch(Addr block_addr, Cycle now)
+{
+    if (params_.perfectL1I)
+        return;
+    if (l1i_.contains(block_addr)) {
+        prefetchRedundantStat_->inc();
+        return;
+    }
+    prefetchIssuedStat_->inc();
+    const Llc::Access llc_access = llc_.access(block_addr);
+    (llc_access.hit ? fillsFromLlcStat_ : fillsFromMemoryStat_)->inc();
+    l1i_.insert(block_addr);
+    ++installSeq_;
+    if (fillHook_)
+        fillHook_(block_addr, /*from_prefetch=*/true,
+                  now + llc_access.latency);
+}
+
 Cycle
 InstMemory::prefetch(Addr block_addr, Cycle now, Cycle extra_latency)
 {

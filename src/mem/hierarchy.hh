@@ -63,6 +63,26 @@ class InstMemory
     FetchResult demandFetch(Addr block_addr, Cycle now);
 
     /**
+     * Content-only touch for sampled fast-forward warming: probes the
+     * L1-I (LRU update) and on a miss installs through the LLC, firing
+     * the usual fill/evict hooks — but skips all MSHR bookkeeping.
+     * Fill-timing state is transient (a fill outlives its install by at
+     * most the memory latency) and is rebuilt by the full-fidelity
+     * warming window before anything is measured, so the touch tier
+     * pays only for the state that persists: tags, LRU and hooks.
+     * Returns true on an L1-I hit (for the prefetcher's warm hook).
+     */
+    bool warmTouch(Addr block_addr, Cycle now);
+
+    /**
+     * Content-only prefetch fill (sampled warming): the same L1-I/LLC
+     * content effects as prefetch() — including the pollution a wrong
+     * prefetch causes — with no MSHR bookkeeping, mirroring warmTouch.
+     * Present blocks are cheap no-ops.
+     */
+    void warmPrefetch(Addr block_addr, Cycle now);
+
+    /**
      * Prefetch @p block_addr at time @p now; returns the completion
      * cycle. Duplicate prefetches of present/in-flight blocks are cheap
      * no-ops (returns the existing readiness time).

@@ -34,11 +34,18 @@ FdpPrefetcher::onFetchRegion(BlockRange blocks,
     // instructions" (Section 2.1). The oracle-resynchronized BPU model
     // cannot follow wrong paths, so FDP reconstructs that inaccuracy by
     // discarding prefetch opportunities with the compounded probability.
-    const double p_correct =
-        std::pow(1.0 - errRate_, static_cast<double>(unresolved_branches));
-    if (rng_.nextDouble() >= p_correct) {
-        wrongPathSuppressedStat_->inc();
-        return;
+    // The draw happens unconditionally to keep the RNG sequence
+    // independent of the branch below; at depth 0 the region is
+    // certainly correct-path (p_correct == 1 and nextDouble() < 1
+    // strictly), so the pow() is skipped without changing behaviour.
+    const double u = rng_.nextDouble();
+    if (unresolved_branches != 0) {
+        const double p_correct = std::pow(
+            1.0 - errRate_, static_cast<double>(unresolved_branches));
+        if (u >= p_correct) {
+            wrongPathSuppressedStat_->inc();
+            return;
+        }
     }
 
     for (const Addr block : blocks) {

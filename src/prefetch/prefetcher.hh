@@ -68,6 +68,26 @@ class InstPrefetcher
         (void)errors;
     }
 
+    /**
+     * Touch-only warming (sampled fast-forward, far from any measured
+     * interval): one demand block transition of the architectural fetch
+     * stream, with @p miss telling whether it missed L1-I (the fill has
+     * already been installed content-only). Implementations keep
+     * *content-relevant* state warm: long-lived recorded metadata (the
+     * SHIFT history) and whatever prefetch fills they would have issued
+     * — installed content-only via InstMemory::warmPrefetch — so the
+     * L1-I sees the same prefetch-driven fills (and pollution) as the
+     * detailed path. Timing-only state (MSHR occupancy, in-flight
+     * latencies) stays untouched; the full-fidelity warming window
+     * before the next interval rebuilds it.
+     */
+    virtual void onWarmAccess(Addr block_addr, Cycle now, bool miss)
+    {
+        (void)block_addr;
+        (void)now;
+        (void)miss;
+    }
+
     const std::string &name() const { return stats_.name(); }
     StatSet &stats() { return stats_; }
     const StatSet &stats() const { return stats_; }

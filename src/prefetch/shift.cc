@@ -76,7 +76,7 @@ ShiftEngine::ShiftEngine(const ShiftParams &params, ShiftHistory &history,
 }
 
 void
-ShiftEngine::issueAhead(Cycle now, Cycle extra_latency)
+ShiftEngine::issueAhead(Cycle now, Cycle extra_latency, bool warm)
 {
     unsigned issued = 0;
     while (outstanding_.size() < params_.streamDepth &&
@@ -91,7 +91,9 @@ ShiftEngine::issueAhead(Cycle now, Cycle extra_latency)
         if (outstanding_.contains(block))
             continue;
         outstanding_.push_back(block);
-        if (!mem_.residentOrInFlight(block)) {
+        if (warm) {
+            mem_.warmPrefetch(block, now);
+        } else if (!mem_.residentOrInFlight(block)) {
             issuedStat_->inc();
             mem_.prefetch(block, now, extra_latency);
         } else {
@@ -155,6 +157,31 @@ ShiftEngine::onDemandMiss(Addr block_addr, Cycle now)
     outstanding_.clear();
     // The first batch pays the LLC metadata-read latency.
     issueAhead(now, params_.historyReadLatency);
+}
+
+void
+ShiftEngine::onWarmAccess(Addr block_addr, Cycle now, bool miss)
+{
+    // The detailed path's hook order per block: miss (redirect) first,
+    // then access (record/confirm/advance).
+    if (miss && !(active_ && outstanding_.contains(block_addr))) {
+        const auto pos = history_.lookup(block_addr);
+        if (!pos) {
+            indexMissesStat_->inc();
+            active_ = false;
+        } else {
+            redirectsStat_->inc();
+            active_ = true;
+            cursor_ = *pos + 1;
+            outstanding_.clear();
+            issueAhead(now, 0, /*warm=*/true);
+        }
+    }
+
+    if (recorder_)
+        history_.record(block_addr);
+    if (active_ && confirm(block_addr))
+        issueAhead(now, 0, /*warm=*/true);
 }
 
 } // namespace cfl

@@ -107,12 +107,20 @@ class ShiftEngine : public InstPrefetcher
     void onDemandAccess(Addr block_addr, Cycle now) override;
     void onDemandMiss(Addr block_addr, Cycle now) override;
 
+    /** Touch-only warming: the full stream-replay logic, with fills
+     *  installed content-only (InstMemory::warmPrefetch) — the L1-I
+     *  sees the same prefetch-driven fills and pollution as the
+     *  detailed path, and the stream state (cursor, outstanding set)
+     *  enters the full-fidelity window already synchronized. */
+    void onWarmAccess(Addr block_addr, Cycle now, bool miss) override;
+
     /** Blocks predicted but not yet confirmed (tests/analysis). */
     std::size_t outstanding() const { return outstanding_.size(); }
 
   private:
-    /** Issue prefetches from the cursor until the lookahead is full. */
-    void issueAhead(Cycle now, Cycle extra_latency);
+    /** Issue prefetches from the cursor until the lookahead is full;
+     *  @p warm routes fills through warmPrefetch (content-only). */
+    void issueAhead(Cycle now, Cycle extra_latency, bool warm = false);
 
     /** Confirm @p block if it was predicted; returns true if so. */
     bool confirm(Addr block_addr);

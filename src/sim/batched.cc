@@ -80,6 +80,21 @@ runBatchedSweep(const std::vector<SweepPoint> &points,
         const WorkloadId workload = points[lead].workload;
         const std::uint64_t seed_base = sched.seeds[lead];
 
+        if (end - begin == 1) {
+            // Singleton group: no second point shares the stream, so
+            // hoisting the trace acquisition buys nothing — run the
+            // point exactly as the scalar sweep would (prepareTraces
+            // acquires the same traces internally). Grids with no
+            // repeated (workload, seed) pay zero batching overhead.
+            SweepOutcome out;
+            out.point = points[lead];
+            out.seed = seed_base;
+            out.metrics =
+                evaluateSweepPoint(points[lead], config, seed_base);
+            result.points[lead] = std::move(out);
+            return;
+        }
+
         // Hoisted predecode: acquire each per-core replay stream once,
         // sized for the longest point in the group. Points needing
         // fewer cores simply ignore the extras; a nullptr (cache
@@ -109,16 +124,13 @@ runBatchedSweep(const std::vector<SweepPoint> &points,
                 if (c < traces.size() && traces[c] != nullptr)
                     cmp.core(c).engine().attachTrace(traces[c]);
             }
-            // No-op for the engines attached above; fills in any the
-            // hoist could not serve.
-            cmp.prepareTraces(pointInsts(p));
-            cmp.runWarmup(p.scale.timingWarmupInsts);
-            cmp.runMeasurement(p.scale.timingMeasureInsts);
-
+            // runSweepPointOn re-runs prepareTraces, a no-op for the
+            // engines attached above; it fills in any the hoist could
+            // not serve, and dispatches sampled points to runSampled.
             SweepOutcome out;
             out.point = p;
             out.seed = seed_base;
-            out.metrics = cmp.collectMetrics();
+            out.metrics = runSweepPointOn(cmp, p);
             // Submission-order slot: the result is byte-identical to
             // runTimingSweep regardless of the batched schedule.
             result.points[idx] = std::move(out);

@@ -1,5 +1,6 @@
 #include "sim/presets.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -78,6 +79,22 @@ functionalConfigFromScale(const RunScale &scale)
     cfg.warmupInsts = scale.functionalWarmupInsts;
     cfg.measureInsts = scale.functionalMeasureInsts;
     return cfg;
+}
+
+SamplingSpec
+defaultSamplingSpec(const RunScale &scale)
+{
+    SamplingSpec spec;
+    spec.intervalInsts = 2'000;
+    spec.detailedWarmupInsts = 4'000;
+    // ~16 intervals across the measure budget, never tighter than the
+    // detailed window itself (tiny budgets degenerate to back-to-back
+    // intervals rather than an invalid spec).
+    spec.periodInsts =
+        std::max<Counter>(scale.timingMeasureInsts / 16,
+                          spec.intervalInsts + spec.detailedWarmupInsts);
+    spec.rngStream = 1;
+    return spec;
 }
 
 std::vector<StructureArea>

@@ -15,6 +15,7 @@
 #include "area/area_model.hh"
 #include "confluence/factory.hh"
 #include "core/functional.hh"
+#include "sim/sampling.hh"
 
 namespace cfl
 {
@@ -44,6 +45,15 @@ RunScale currentScale();
 
 /** FunctionalConfig derived from the current scale. */
 FunctionalConfig functionalConfigFromScale(const RunScale &scale);
+
+/**
+ * Sampling plan matched to @p scale: ~16 measured intervals of 2k
+ * instructions across the measure budget, each preceded by 6k of
+ * detailed warmup. Tuned on the quick fig06 grid so every metric's
+ * 95% CI covers the exact value at a ~10x per-point speedup
+ * (perf_harness --sampled asserts both).
+ */
+SamplingSpec defaultSamplingSpec(const RunScale &scale);
 
 /** Per-core area overhead (dedicated mm²) of a design point. */
 double frontendOverheadMm2(FrontendKind kind, const SystemConfig &config);

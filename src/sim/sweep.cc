@@ -209,6 +209,30 @@ SweepResult::merge(SweepResult &&other)
     other.points.clear();
 }
 
+CmpMetrics
+runSweepPointOn(Cmp &cmp, const SweepPoint &point)
+{
+    if (point.sampling.enabled())
+        return cmp.runSampled(point.scale.timingWarmupInsts,
+                              point.scale.timingMeasureInsts,
+                              point.sampling);
+    cmp.prepareTraces(point.scale.timingWarmupInsts +
+                      point.scale.timingMeasureInsts);
+    cmp.runWarmup(point.scale.timingWarmupInsts);
+    cmp.runMeasurement(point.scale.timingMeasureInsts);
+    return cmp.collectMetrics();
+}
+
+CmpMetrics
+evaluateSweepPoint(const SweepPoint &point, const SystemConfig &config,
+                   std::uint64_t seed_base)
+{
+    SystemConfig cfg = config;
+    cfg.numCores = point.scale.timingCores;
+    Cmp cmp(point.kind, point.workload, cfg, seed_base);
+    return runSweepPointOn(cmp, point);
+}
+
 SweepResult
 runTimingSweep(const std::vector<SweepPoint> &points,
                const SystemConfig &config, SweepEngine &engine)
@@ -221,8 +245,7 @@ runTimingSweep(const std::vector<SweepPoint> &points,
         SweepOutcome out;
         out.point = p;
         out.seed = seed;
-        out.metrics = runTiming(p.kind, p.workload, config, p.scale, seed)
-                          .metrics;
+        out.metrics = evaluateSweepPoint(p, config, seed);
         result.points[i] = std::move(out);
     });
     return result;
@@ -238,7 +261,7 @@ runTimingSweep(const std::vector<FrontendKind> &kinds,
     points.reserve(kinds.size() * workloads.size());
     for (const FrontendKind kind : kinds)
         for (const WorkloadId wl : workloads)
-            points.push_back({kind, wl, scale});
+            points.push_back({kind, wl, scale, SamplingSpec{}});
     return runTimingSweep(points, config, engine);
 }
 

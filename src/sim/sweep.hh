@@ -134,6 +134,12 @@ struct SweepPoint
     FrontendKind kind;
     WorkloadId workload;
     RunScale scale;
+    /** Disabled by default: exact full-fidelity simulation. When
+     *  enabled the point runs through Cmp::runSampled and its outcome
+     *  carries per-metric confidence estimators. Part of the point
+     *  identity (codec, digests): a sampled point and its exact twin
+     *  are different points with different results. */
+    SamplingSpec sampling = {};
 };
 
 /**
@@ -179,6 +185,19 @@ struct SweepResult
     /** Append another sweep's outcomes (for sharded/merged sweeps). */
     void merge(SweepResult &&other);
 };
+
+/**
+ * Evaluate one sweep point on @p cmp, which must have been built with
+ * the point's kind/workload and core count. Dispatches between the
+ * exact run and the sampled run on point.sampling; shared by the
+ * scalar and batched runners so the two cannot drift.
+ */
+CmpMetrics runSweepPointOn(Cmp &cmp, const SweepPoint &point);
+
+/** Evaluate one sweep point standalone (builds its own Cmp). */
+CmpMetrics evaluateSweepPoint(const SweepPoint &point,
+                              const SystemConfig &config,
+                              std::uint64_t seed_base);
 
 /** Evaluate exactly the given points. */
 SweepResult runTimingSweep(const std::vector<SweepPoint> &points,

@@ -1,6 +1,7 @@
 #include "sweepio/codec.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -37,6 +38,55 @@ appendPoint(std::ostringstream &out, const SweepPoint &point)
         << "\",\"workload\":\"" << workloadSlug(point.workload)
         << "\",\"scale\":";
     appendScale(out, point.scale);
+    // Emitted only when sampling is on: exact points (and their
+    // digests, cache keys, and golden files) encode byte-identically
+    // to the pre-sampling format.
+    if (point.sampling.enabled()) {
+        out << ",\"sampling\":{\"interval\":" << point.sampling.intervalInsts
+            << ",\"detailed_warmup\":"
+            << point.sampling.detailedWarmupInsts
+            << ",\"period\":" << point.sampling.periodInsts
+            << ",\"rng_stream\":" << point.sampling.rngStream << "}";
+    }
+    out << "}";
+}
+
+/** Doubles cross the codec as IEEE-754 bit patterns (decimal u64), the
+ *  same trick the regression history uses: a decimal rendering would
+ *  round, and round-trips must be bit-identical. */
+std::uint64_t
+doubleBits(double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+void
+appendEstimate(std::ostringstream &out, const MetricEstimate &est)
+{
+    out << "{\"n\":" << est.count << ",\"mean\":" << doubleBits(est.mean)
+        << ",\"m2\":" << doubleBits(est.m2) << "}";
+}
+
+void
+appendEstimates(std::ostringstream &out, const SampleEstimates &s)
+{
+    out << "{\"cpi\":";
+    appendEstimate(out, s.cpi);
+    out << ",\"btb_mpki\":";
+    appendEstimate(out, s.btbMpki);
+    out << ",\"l1i_mpki\":";
+    appendEstimate(out, s.l1iMpki);
     out << "}";
 }
 
@@ -125,8 +175,54 @@ parsePoint(Parser &p)
     p.expect(',');
     p.namedKey("scale");
     point.scale = parseScale(p);
+    if (p.accept(',')) {
+        p.namedKey("sampling");
+        p.expect('{');
+        point.sampling.intervalInsts = p.namedNumber("interval");
+        p.expect(',');
+        point.sampling.detailedWarmupInsts =
+            p.namedNumber("detailed_warmup");
+        p.expect(',');
+        point.sampling.periodInsts = p.namedNumber("period");
+        p.expect(',');
+        point.sampling.rngStream = p.namedNumber("rng_stream");
+        p.expect('}');
+    }
     p.expect('}');
     return point;
+}
+
+MetricEstimate
+parseEstimate(Parser &p)
+{
+    MetricEstimate est;
+    p.expect('{');
+    est.count = p.namedNumber("n");
+    p.expect(',');
+    p.namedKey("mean");
+    est.mean = bitsToDouble(p.number());
+    p.expect(',');
+    p.namedKey("m2");
+    est.m2 = bitsToDouble(p.number());
+    p.expect('}');
+    return est;
+}
+
+SampleEstimates
+parseEstimates(Parser &p)
+{
+    SampleEstimates s;
+    p.expect('{');
+    p.namedKey("cpi");
+    s.cpi = parseEstimate(p);
+    p.expect(',');
+    p.namedKey("btb_mpki");
+    s.btbMpki = parseEstimate(p);
+    p.expect(',');
+    p.namedKey("l1i_mpki");
+    s.l1iMpki = parseEstimate(p);
+    p.expect('}');
+    return s;
 }
 
 CoreMetrics
@@ -178,6 +274,10 @@ parseOutcome(Parser &p)
             out.metrics.cores.push_back(parseCore(p));
         } while (p.accept(','));
         p.expect(']');
+    }
+    if (p.accept(',')) {
+        p.namedKey("sampling");
+        out.metrics.sampling = parseEstimates(p);
     }
     p.expect('}');
     p.expect('}');
@@ -251,7 +351,14 @@ encodeOutcome(const SweepOutcome &outcome)
             out << ",";
         appendCore(out, outcome.metrics.cores[i]);
     }
-    out << "]}}";
+    out << "]";
+    // Optional, like the point's spec: exact outcomes keep their
+    // pre-sampling byte encoding.
+    if (outcome.metrics.sampling.valid()) {
+        out << ",\"sampling\":";
+        appendEstimates(out, outcome.metrics.sampling);
+    }
+    out << "}}";
     return out.str();
 }
 

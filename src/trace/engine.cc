@@ -1,5 +1,7 @@
 #include "trace/engine.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "trace/trace_buffer.hh"
 #include "workloads/generator.hh"
@@ -77,6 +79,50 @@ ExecEngine::skipReplay(std::uint64_t n)
                "skipReplay past the buffered prefix");
     traceCursor_ += n;
     instCount_ += n;
+}
+
+void
+ExecEngine::fastForward(std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    if (hasPeek_) {
+        // The buffered instruction was already produced; dropping it
+        // consumes one of the n.
+        hasPeek_ = false;
+        --n;
+    }
+    while (n > 0) {
+        if (trace_ != nullptr) {
+            const std::uint64_t left = trace_->size() - traceCursor_;
+            const std::uint64_t skip = std::min(n, left);
+            traceCursor_ += skip;
+            instCount_ += skip;
+            n -= skip;
+            if (n == 0)
+                return;
+            // Prefix exhausted mid-skip: continue generating (and
+            // discarding) from the buffer's tail state.
+            restore(trace_->tailSnapshot());
+        }
+        generate();
+        --n;
+    }
+}
+
+void
+ExecEngine::restoreSnapshot(const EngineSnapshot &snap)
+{
+    trace_.reset();
+    traceCursor_ = 0;
+    hasPeek_ = false;
+    rng_ = snap.rng;
+    pc_ = snap.pc;
+    stack_ = snap.stack;
+    loopCounters_ = snap.loopCounters;
+    requestType_ = snap.requestType;
+    requestCount_ = snap.requestCount;
+    instCount_ = snap.instCount;
 }
 
 const DynInst &

@@ -110,8 +110,26 @@ class ExecEngine
      */
     void skipReplay(std::uint64_t n);
 
+    /**
+     * Advance the stream past @p n instructions without handing them to
+     * a consumer. Within a replayed prefix the skip is pure cursor
+     * arithmetic; past the buffer tail (or in generation mode) the
+     * engine generates and discards. A pending peek()ed instruction
+     * counts as the first of the @p n. Bit-identical to n calls to
+     * next(): the stream observed afterwards is the same either way.
+     */
+    void fastForward(std::uint64_t n);
+
     /** Capture the current generator state (generation mode only). */
     EngineSnapshot snapshot() const;
+
+    /**
+     * Rewind (or advance) to a previously captured snapshot of this
+     * engine. Leaves replay mode if active and discards any pending
+     * peek; the subsequent stream is bit-identical to the one observed
+     * after the original snapshot() call.
+     */
+    void restoreSnapshot(const EngineSnapshot &snap);
 
     /** Number of requests dispatched so far. */
     std::uint64_t requestCount() const { return requestCount_; }

@@ -61,6 +61,10 @@ class TraceBuffer
     /** PC of instruction @p i (region starts need only the pc column). */
     Addr pcAt(std::uint64_t i) const { return pc_[i]; }
 
+    /** Taken flag of instruction @p i (touch-only walks need just this
+     *  one column per branch). */
+    bool takenAt(std::uint64_t i) const { return taken_[i] != 0; }
+
     /**
      * Branch-skip predecode index: the instruction indices of every
      * branch in the trace, ascending. Built once with the trace and

@@ -153,8 +153,9 @@ TEST_P(ConvBtbWorkload, HitsCarryCorrectDirectTargets)
         if (!inst.isBranch())
             continue;
         const auto res = btb.lookup(inst, i);
-        if (res.hit && hasDirectTarget(inst.kind))
+        if (res.hit && hasDirectTarget(inst.kind)) {
             ASSERT_EQ(res.entry.target, inst.target);
+        }
         if (!res.hit && inst.taken)
             btb.learn(inst.pc, inst.kind,
                       hasDirectTarget(inst.kind) ? inst.target : 0, i);
