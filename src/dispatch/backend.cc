@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace cfl::dispatch
 {
@@ -47,6 +48,14 @@ RunStatus
 runLocalCommand(const std::string &command, unsigned timeout_sec,
                 const std::function<bool()> &poll_tick)
 {
+    // An injected spawn fault models fork/exec resource exhaustion:
+    // the child never runs, and the caller sees the shell's own
+    // "command not found" code and takes its normal retry path.
+    if (isIoFault(fault::at("dispatch.spawn").kind)) {
+        RunStatus out;
+        out.exitCode = 127;
+        return out;
+    }
     const pid_t pid = ::fork();
     if (pid < 0)
         cfl_fatal("fork failed: %s", std::strerror(errno));
@@ -56,6 +65,11 @@ runLocalCommand(const std::string &command, unsigned timeout_sec,
         // exec failed; 127 is the shell's own "command not found".
         ::_exit(127);
     }
+    // An injected child kill models the OOM killer (or an operator)
+    // taking out the worker process mid-run: the wait loop below sees
+    // an ordinary SIGKILL death (exit 137).
+    if (isIoFault(fault::at("dispatch.child.kill").kind))
+        ::kill(pid, SIGKILL);
 
     using Clock = std::chrono::steady_clock;
     const Clock::time_point deadline =

@@ -1,6 +1,7 @@
 #include "dispatch/dispatcher.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,7 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "dispatch/result_cache.hh"
 #include "sweepio/codec.hh"
 #include "sweepio/shard.hh"
@@ -28,6 +30,8 @@ struct JobState
     std::set<unsigned> excluded; ///< workers that failed this shard
     bool inProgress = false;
     bool done = false;
+    /** Earliest time the next attempt may start (retry backoff). */
+    std::chrono::steady_clock::time_point readyAt{};
 };
 
 /** Shared scheduler state; every field is guarded by mutex. */
@@ -40,14 +44,16 @@ struct Scheduler
 };
 
 /**
- * Whether worker @p w may take job @p j: pending, and either the
- * worker has not failed it or every worker has (retry anywhere rather
- * than deadlock once the pool is exhausted).
+ * Whether worker @p w may take job @p j at @p now: pending, past its
+ * retry backoff, and either the worker has not failed it or every
+ * worker has (retry anywhere rather than deadlock once the pool is
+ * exhausted).
  */
 bool
-eligible(const JobState &j, unsigned w, unsigned workers)
+eligible(const JobState &j, unsigned w, unsigned workers,
+         std::chrono::steady_clock::time_point now)
 {
-    if (j.done || j.inProgress)
+    if (j.done || j.inProgress || now < j.readyAt)
         return false;
     return j.excluded.count(w) == 0 || j.excluded.size() >= workers;
 }
@@ -56,30 +62,31 @@ void
 workerLoop(Scheduler &sched, WorkerBackend &backend,
            const RetryPolicy &policy, unsigned w)
 {
+    using Clock = std::chrono::steady_clock;
     const unsigned workers = backend.workers();
     while (true) {
         JobState *picked = nullptr;
         {
             std::unique_lock<std::mutex> lock(sched.mutex);
-            sched.wake.wait(lock, [&] {
+            // A timed wait rather than a pure predicate wait: a job
+            // sitting out its backoff delay becomes eligible by clock
+            // alone, with no notify to ride in on.
+            while (true) {
                 if (sched.doneCount == sched.jobs.size())
-                    return true;
-                for (JobState &j : sched.jobs)
-                    if (eligible(j, w, workers))
-                        return true;
-                return false;
-            });
-            if (sched.doneCount == sched.jobs.size())
-                return;
-            for (JobState &j : sched.jobs) {
-                if (eligible(j, w, workers)) {
-                    j.inProgress = true;
-                    picked = &j;
-                    break;
+                    return;
+                const Clock::time_point now = Clock::now();
+                for (JobState &j : sched.jobs) {
+                    if (eligible(j, w, workers, now)) {
+                        j.inProgress = true;
+                        picked = &j;
+                        break;
+                    }
                 }
+                if (picked != nullptr)
+                    break;
+                sched.wake.wait_for(
+                    lock, std::chrono::milliseconds(10));
             }
-            if (picked == nullptr)
-                continue; // another worker raced us to the job
         }
 
         const bool first = picked->run.attempts == 0;
@@ -109,8 +116,16 @@ workerLoop(Scheduler &sched, WorkerBackend &backend,
                               policy.noRetryExits.end(),
                               status.exitCode) !=
                         policy.noRetryExits.end();
-                if (corrupt || run.attempts >= policy.maxAttempts)
+                if (corrupt || run.attempts >= policy.maxAttempts) {
                     picked->done = true; // run.ok stays false
+                } else {
+                    const std::uint64_t delay = backoffDelayMs(
+                        policy, run.shard, run.attempts);
+                    run.backoffMs += delay;
+                    picked->readyAt =
+                        Clock::now() +
+                        std::chrono::milliseconds(delay);
+                }
             }
             if (picked->done)
                 ++sched.doneCount;
@@ -136,6 +151,27 @@ parseFaultShard(const std::string &fault)
 }
 
 } // namespace
+
+std::uint64_t
+backoffDelayMs(const RetryPolicy &policy, unsigned shard,
+               unsigned failures)
+{
+    if (policy.backoffBaseMs == 0 || failures == 0)
+        return 0;
+    const unsigned exp = std::min(failures - 1, 20u);
+    const std::uint64_t delay =
+        std::min<std::uint64_t>(policy.backoffCapMs,
+                                std::uint64_t(policy.backoffBaseMs)
+                                    << exp);
+    // Deterministic jitter into [delay/2, delay): spreads a retry
+    // storm without making any schedule irreproducible.
+    const std::uint64_t lo = delay - delay / 2;
+    if (delay <= lo)
+        return delay;
+    return lo + hashCombine(policy.backoffSeed,
+                            hashCombine(shard, failures)) %
+                    (delay - lo);
+}
 
 std::vector<ShardRun>
 dispatchShards(WorkerBackend &backend, const std::vector<ShardJob> &jobs,
@@ -236,10 +272,14 @@ runDispatchedSweep(const std::vector<SweepPoint> &points,
             // `env` rather than a bare VAR=val prefix: an ssh backend
             // with a timeout wraps the command in coreutils `timeout`,
             // which execs its first argument — a bare assignment there
-            // would be taken for the program name.
+            // would be taken for the program name. The pinned plan
+            // kills the sweep at its result-publish site (exit 4, the
+            // old CONFLUENCE_SWEEP_FAULT=abort behaviour).
             if (k == fault_shard)
                 job.firstAttemptCommand =
-                    "env CONFLUENCE_SWEEP_FAULT=abort " + job.command;
+                    "env 'CONFLUENCE_FAULT_PLAN=pin=sweep.result."
+                    "publish@0:die:4' " +
+                    job.command;
             jobs.push_back(std::move(job));
             result_paths.push_back(result_path);
         }
@@ -247,6 +287,8 @@ runDispatchedSweep(const std::vector<SweepPoint> &points,
         st.shardRuns = dispatchShards(backend, jobs, opts.retry);
         for (const ShardRun &run : st.shardRuns) {
             st.retries += run.attempts - 1;
+            st.attempts += run.attempts;
+            st.backoffMs += run.backoffMs;
             if (!run.ok)
                 cfl_fatal("shard %u failed after %u attempt(s) "
                           "(last exit %d%s)",

@@ -22,16 +22,25 @@
  * result is byte-identical to the single-process run — cached, sharded,
  * retried, or not (CI asserts this on every push).
  *
+ * Failed attempts back off before retrying: capped exponential delay
+ * with deterministic jitter (backoffDelayMs — a pure function of the
+ * policy seed, shard, and failure count, so a retry schedule replays
+ * exactly). While one shard waits out its backoff, workers pick up
+ * other pending shards.
+ *
  * Fault injection for tests/CI: DispatchOptions::fault = "shard:K"
- * prefixes shard K's *first* attempt with CONFLUENCE_SWEEP_FAULT=abort,
- * which makes confluence_sweep die without writing its result; the
- * retry then proceeds clean. The CONFLUENCE_DISPATCH_FAULT environment
- * variable feeds this through tools/confluence_dispatch.
+ * prefixes shard K's *first* attempt with a CONFLUENCE_FAULT_PLAN
+ * pinning a death at sweep.result.publish, which makes
+ * confluence_sweep die without writing its result; the retry then
+ * proceeds clean. The CONFLUENCE_DISPATCH_FAULT environment variable
+ * feeds this through tools/confluence_dispatch (legacy alias — the
+ * full plan grammar lives in fault/fault.hh).
  */
 
 #ifndef CFL_DISPATCH_DISPATCHER_HH
 #define CFL_DISPATCH_DISPATCHER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -59,9 +68,30 @@ struct RetryPolicy
     unsigned maxAttempts = 3; ///< total attempts per shard (>= 1)
     unsigned timeoutSec = 0;  ///< per-attempt wall limit (0 = none)
     /** Exit codes that mark the shard's input corrupt rather than the
-     *  infrastructure flaky; such failures are never retried. */
-    std::vector<int> noRetryExits = {3};
+     *  infrastructure flaky; such failures are never retried.
+     *  Defaults: 3 = confluence_sweep duplicate/corrupt shard input,
+     *  6 = the task was quarantined as poison (queue backend). */
+    std::vector<int> noRetryExits = {3, 6};
+    /** First-retry delay in ms, doubling per subsequent failure of the
+     *  same shard up to backoffCapMs (0 disables backoff). A failed
+     *  shard cannot be retried before its delay elapses, but workers
+     *  take other pending shards meanwhile. */
+    unsigned backoffBaseMs = 100;
+    unsigned backoffCapMs = 5000;
+    /** Jitter seed: delays are deterministic in (seed, shard, failure
+     *  count), so a retry storm never synchronizes yet replays. */
+    std::uint64_t backoffSeed = 0;
 };
+
+/**
+ * The backoff delay before retrying @p shard after its
+ * @p failures-th consecutive failure (1-based): exponential from
+ * backoffBaseMs, capped at backoffCapMs, jittered deterministically
+ * into [delay/2, delay). Pure; 0 when backoff is disabled or
+ * @p failures is 0.
+ */
+std::uint64_t backoffDelayMs(const RetryPolicy &policy, unsigned shard,
+                             unsigned failures);
 
 /** What happened to one shard across all its attempts. */
 struct ShardRun
@@ -72,6 +102,7 @@ struct ShardRun
     std::vector<unsigned> workers; ///< worker id of each attempt
     int lastExit = 0;
     bool timedOut = false;         ///< last attempt hit the timeout
+    std::uint64_t backoffMs = 0;   ///< total injected retry delay
 };
 
 /**
@@ -106,6 +137,8 @@ struct DispatchStats
     std::size_t evaluatedPoints = 0; ///< computed by shard processes
     unsigned shards = 0;
     unsigned retries = 0;            ///< attempts beyond the first
+    unsigned attempts = 0;           ///< total attempts, all shards
+    std::uint64_t backoffMs = 0;     ///< total retry delay, all shards
     std::vector<ShardRun> shardRuns;
 };
 

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "sweepio/json.hh"
 
 namespace cfl::dispatch
@@ -167,6 +168,14 @@ RegressionHistory::append(const HistoryEntry &entry)
     for (const auto &[kind, geomean] : entry.geomeans)
         checkStoreString("kind", kind);
 
+    // The entry always lands in memory — compare()/deltas() stay
+    // consistent for this run — and persistence degrades like the
+    // result cache's: a history that cannot be written costs the next
+    // run its comparison baseline, not this run its results.
+    entries_.push_back(entry);
+    if (degraded_)
+        return;
+
     // One append descriptor per history lifetime (mirroring
     // ResultCache::flush): repeated appends reuse it instead of
     // reopening the store every time.
@@ -176,23 +185,37 @@ RegressionHistory::append(const HistoryEntry &entry)
         if (!parent.empty()) {
             std::error_code ec;
             std::filesystem::create_directories(parent, ec);
-            if (ec)
-                cfl_fatal("cannot create history directory \"%s\": %s",
-                          parent.c_str(), ec.message().c_str());
+            if (ec) {
+                degrade("cannot create store directory: " +
+                        ec.message());
+                return;
+            }
         }
         g_historyStoreOpens.fetch_add(1, std::memory_order_relaxed);
         appendFd_ = ::open(path_.c_str(),
                            O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
                            0644);
-        if (appendFd_ < 0)
-            cfl_fatal("cannot open history \"%s\" for appending: %s",
-                      path_.c_str(), std::strerror(errno));
+        if (appendFd_ < 0) {
+            degrade(std::string("cannot open for appending: ") +
+                    std::strerror(errno));
+            return;
+        }
     }
     const std::string line = encodeEntry(entry) + "\n";
-    if (::write(appendFd_, line.data(), line.size()) !=
+    // A short write leaves a torn trailing line; loads already skip
+    // those with a warning, so degrading can never wedge the store.
+    if (fault::faultWrite(appendFd_, line.data(), line.size(),
+                          "history.append.write") !=
         static_cast<ssize_t>(line.size()))
-        cfl_fatal("failed writing history \"%s\"", path_.c_str());
-    entries_.push_back(entry);
+        degrade(std::string("append failed: ") + std::strerror(errno));
+}
+
+void
+RegressionHistory::degrade(const std::string &why)
+{
+    cfl_warn("history store \"%s\": %s — entries stay in memory but "
+             "will not persist", path_.c_str(), why.c_str());
+    degraded_ = true;
 }
 
 namespace

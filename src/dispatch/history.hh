@@ -69,8 +69,13 @@ class RegressionHistory
     /** Append @p entry to memory and to the store file. fatal()s if the
      *  tag or a kind slug holds a character the escape-free store could
      *  never reparse ('"', '\\', control bytes) — one bad byte would
-     *  wedge every future load. */
+     *  wedge every future load. A store-file *write* failure instead
+     *  degrades (warn + in-memory only; see degraded()): the cost is
+     *  the next run's comparison baseline, never this run. */
     void append(const HistoryEntry &entry);
+
+    /** Whether persistence was abandoned after a store failure. */
+    bool degraded() const { return degraded_; }
 
     const std::vector<HistoryEntry> &entries() const { return entries_; }
 
@@ -99,6 +104,9 @@ class RegressionHistory
     std::string path_;
     std::vector<HistoryEntry> entries_;
     int appendFd_ = -1; ///< store append descriptor, opened once
+    bool degraded_ = false; ///< persistence abandoned after a failure
+
+    void degrade(const std::string &why);
 };
 
 } // namespace cfl::dispatch

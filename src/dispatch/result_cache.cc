@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "sweepio/codec.hh"
 #include "sweepio/digest.hh"
 
@@ -112,36 +113,61 @@ ResultCache::~ResultCache()
 }
 
 void
+ResultCache::degrade(const std::string &why)
+{
+    cfl_warn("cache store \"%s\": %s — continuing without cache "
+             "write-back (results stay correct; the next run "
+             "recomputes what this one could not persist)",
+             path_.c_str(), why.c_str());
+    degraded_ = true;
+    pending_.clear();
+}
+
+void
 ResultCache::flush()
 {
     if (pending_.empty())
         return;
+    if (degraded_) {
+        pending_.clear();
+        return;
+    }
     if (appendFd_ < 0) {
         const std::filesystem::path parent =
             std::filesystem::path(path_).parent_path();
         if (!parent.empty()) {
             std::error_code ec;
             std::filesystem::create_directories(parent, ec);
-            if (ec)
-                cfl_fatal("cannot create cache directory \"%s\": %s",
-                          parent.c_str(), ec.message().c_str());
+            if (ec) {
+                degrade("cannot create store directory: " +
+                        ec.message());
+                return;
+            }
         }
         g_cacheStoreOpens.fetch_add(1, std::memory_order_relaxed);
         appendFd_ = ::open(path_.c_str(),
                            O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
                            0644);
-        if (appendFd_ < 0)
-            cfl_fatal("cannot open cache store \"%s\" for appending: %s",
-                      path_.c_str(), std::strerror(errno));
+        if (appendFd_ < 0) {
+            degrade(std::string("cannot open for appending: ") +
+                    std::strerror(errno));
+            return;
+        }
     }
     std::string batch;
     for (const std::string &line : pending_) {
         batch += line;
         batch += '\n';
     }
-    if (::write(appendFd_, batch.data(), batch.size()) !=
-        static_cast<ssize_t>(batch.size()))
-        cfl_fatal("failed writing cache store \"%s\"", path_.c_str());
+    // A short write may leave a torn trailing line in the store; the
+    // load path skips it with a warning, so degrading here (instead of
+    // dying) can never corrupt future loads.
+    if (fault::faultWrite(appendFd_, batch.data(), batch.size(),
+                          "cache.flush.write") !=
+        static_cast<ssize_t>(batch.size())) {
+        degrade(std::string("append failed: ") + std::strerror(errno));
+        return;
+    }
     pending_.clear();
 }
 

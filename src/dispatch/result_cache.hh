@@ -85,8 +85,19 @@ class ResultCache
      * after every completed task) pay one store open per run, not one
      * per flush, and concurrent appenders sharing the store interleave
      * at batch granularity.
+     *
+     * A store that cannot be written (disk full, permissions, an
+     * injected "cache.flush.write" fault) puts the cache in degraded
+     * mode — warn once, keep serving in-memory entries, stop
+     * persisting — rather than killing the process: losing cache
+     * write-back costs recomputation on the *next* run, never this
+     * run's results.
      */
     void flush();
+
+    /** Whether write-back has been abandoned after a store failure
+     *  (lookups still serve everything inserted this run). */
+    bool degraded() const { return degraded_; }
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -112,6 +123,10 @@ class ResultCache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     int appendFd_ = -1; ///< store append descriptor, opened once
+    bool degraded_ = false; ///< write-back abandoned after a failure
+
+    /** Enter degraded mode: warn, drop pending write-back. */
+    void degrade(const std::string &why);
 };
 
 } // namespace cfl::dispatch

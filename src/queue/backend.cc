@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "sweepio/digest.hh"
 
 namespace cfl::queue
@@ -51,21 +52,24 @@ QueueBackend::run(unsigned worker, const std::string &command,
         if (const auto done = queue_.doneRecord(task.id)) {
             dispatch::RunStatus status;
             status.exitCode = static_cast<int>(done->exitCode);
-            if (opts_.killAfterCompletions != 0) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                if (++completions_ >= opts_.killAfterCompletions) {
-                    std::fprintf(stderr,
-                                 "injected fault: SIGKILLing the "
-                                 "coordinator after %u completion(s)\n",
-                                 completions_);
-                    ::kill(::getpid(), SIGKILL);
-                }
-            }
+            // The coordinator-crash injection point: a fault plan
+            // pinning a kill here dies after the K-th completion.
+            fault::checkpoint("queue.backend.completion");
             return status;
         }
         // Keep the queue healthy while waiting: a worker that died
         // mid-task must not strand its shard until a daemon notices.
         queue_.reclaimExpired();
+        // Quarantined during that reclaim (it kept killing workers):
+        // this task will never complete, and no other worker should
+        // have to die proving it.
+        if (queue_.isQuarantined(task.id)) {
+            cfl_warn("task \"%s\" was quarantined as poison; giving "
+                     "up on it", task.id.c_str());
+            dispatch::RunStatus status;
+            status.exitCode = kExitQuarantined;
+            return status;
+        }
         if (timeout_sec != 0 && Clock::now() >= deadline) {
             queue_.cancelTask(task.id);
             dispatch::RunStatus status;

@@ -22,10 +22,13 @@
  * textually identical command must not alias a stale done record from
  * the previous incarnation.
  *
- * Fault hook for tests/CI: killAfterCompletions = K SIGKILLs the
- * calling process the moment the K-th task completion is observed —
- * the coordinator-crash injection the queue-sweep CI job restarts
- * from.
+ * Fault hook for tests/CI: every observed completion passes through
+ * the "queue.backend.completion" fault site, so a plan pinning a kill
+ * there SIGKILLs the coordinator after the K-th completion — the
+ * coordinator-crash injection the queue-sweep CI job restarts from
+ * (confluence_dispatch translates the legacy
+ * CONFLUENCE_DISPATCH_FAULT=kill-after:K spelling into exactly that
+ * pin).
  */
 
 #ifndef CFL_QUEUE_BACKEND_HH
@@ -41,6 +44,11 @@
 namespace cfl::queue
 {
 
+/** run()'s exit code for a task the queue quarantined as poison: like
+ *  the sweep's own "corrupt input" code 3, retrying it elsewhere
+ *  cannot help, so RetryPolicy::noRetryExits lists it by default. */
+inline constexpr int kExitQuarantined = 6;
+
 class QueueBackend : public dispatch::WorkerBackend
 {
   public:
@@ -48,9 +56,6 @@ class QueueBackend : public dispatch::WorkerBackend
     {
         unsigned slots = 2;   ///< concurrent enqueue/wait slots
         unsigned pollMs = 50; ///< done-record poll interval
-        /** SIGKILL this process after observing the Kth completion
-         *  (0 = disabled) — the coordinator-crash fault injection. */
-        unsigned killAfterCompletions = 0;
     };
 
     QueueBackend(WorkQueue &queue, Options opts);
@@ -63,7 +68,8 @@ class QueueBackend : public dispatch::WorkerBackend
      * is cancelled if still unclaimed; a claimed task cannot be
      * stopped remotely, so queue-mode timeouts should comfortably
      * exceed the longest shard (or stay 0 and let leases handle
-     * worker death).
+     * worker death). A task the queue quarantines (it kept killing
+     * workers) returns kExitQuarantined instead of completing.
      */
     dispatch::RunStatus run(unsigned worker, const std::string &command,
                             unsigned timeout_sec) override;
@@ -74,7 +80,6 @@ class QueueBackend : public dispatch::WorkerBackend
     std::string runNonce_;
     std::mutex mutex_;
     std::unordered_map<std::string, unsigned> attempts_;
-    unsigned completions_ = 0;
 };
 
 } // namespace cfl::queue

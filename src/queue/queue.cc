@@ -13,6 +13,8 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
+#include "fault/fault.hh"
 
 namespace cfl::queue
 {
@@ -92,18 +94,33 @@ countTaskFiles(const std::string &dir)
     return ec ? 0 : count;
 }
 
-/** Write @p text to @p path in one pass; fatal() on any failure. */
-void
-writeFileOrDie(const std::string &path, const std::string &text)
+/** Write @p text to @p path in one pass through the fault layer as
+ *  @p site; false on any (real or injected) failure, with whatever
+ *  partial file landed left in place for the caller to clean up. */
+bool
+tryWriteFile(const std::string &path, const std::string &text,
+             const char *site)
 {
     const int fd = ::open(path.c_str(),
                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-    if (fd < 0)
-        cfl_fatal("cannot create \"%s\": %s", path.c_str(),
-                  std::strerror(errno));
-    const ssize_t written = ::write(fd, text.data(), text.size());
+    if (fd < 0) {
+        cfl_warn("cannot create \"%s\": %s", path.c_str(),
+                 std::strerror(errno));
+        return false;
+    }
+    const ssize_t written =
+        fault::faultWrite(fd, text.data(), text.size(), site);
     const int close_err = ::close(fd);
-    if (written != static_cast<ssize_t>(text.size()) || close_err != 0)
+    return written == static_cast<ssize_t>(text.size()) &&
+           close_err == 0;
+}
+
+/** tryWriteFile() for sites with no soft failure path. */
+void
+writeFileOrDie(const std::string &path, const std::string &text,
+               const char *site)
+{
+    if (!tryWriteFile(path, text, site))
         cfl_fatal("failed writing \"%s\"", path.c_str());
 }
 
@@ -118,6 +135,17 @@ tryRename(const std::string &from, const std::string &to)
         return false;
     cfl_fatal("cannot rename \"%s\" to \"%s\": %s", from.c_str(),
               to.c_str(), std::strerror(errno));
+}
+
+/** tryRename() with an injectable failure under @p site. An injected
+ *  failure behaves like losing the race: false, nothing moved. */
+bool
+faultTryRename(const std::string &from, const std::string &to,
+               const char *site)
+{
+    if (fault::renameShouldFail(site))
+        return false;
+    return tryRename(from, to);
 }
 
 /** Slurp @p path; nullopt if it cannot be opened. */
@@ -137,13 +165,18 @@ readFirstLine(const std::string &path)
 WorkQueue::WorkQueue(std::string dir) : dir_(std::move(dir))
 {
     for (const char *sub : {"", "/pending", "/claimed", "/leases",
-                            "/done", "/cancelled", "/tmp"}) {
+                            "/done", "/cancelled", "/quarantine",
+                            "/tmp"}) {
         std::error_code ec;
         fs::create_directories(dir_ + sub, ec);
         if (ec)
             cfl_fatal("cannot create queue directory \"%s%s\": %s",
                       dir_.c_str(), sub, ec.message().c_str());
     }
+    if (const char *after = std::getenv("CONFLUENCE_QUARANTINE_AFTER");
+        after != nullptr && *after != '\0')
+        quarantineAfter_ =
+            parseUnsignedFlag("CONFLUENCE_QUARANTINE_AFTER", after);
     // Resume sequence numbering past everything the log remembers, so a
     // restarted coordinator's task files sort after the survivors'.
     for (const QueueLogRecord &record : readLog())
@@ -167,12 +200,22 @@ WorkQueue::defaultDir()
 std::uint64_t
 WorkQueue::nowMs() const
 {
-    if (clock_ != nullptr)
-        return clock_();
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::system_clock::now().time_since_epoch())
-            .count());
+    std::uint64_t base;
+    if (clock_ != nullptr) {
+        base = clock_();
+    } else {
+        base = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+    }
+    // Injected clock skew models a fleet machine whose wall clock
+    // disagrees — leases expire early (positive skew: everyone else's
+    // leases look old) or persist late (negative skew).
+    const std::int64_t skew = fault::clockSkewMs();
+    if (skew < 0 && base < static_cast<std::uint64_t>(-skew))
+        return 0;
+    return base + static_cast<std::uint64_t>(skew);
 }
 
 std::string
@@ -213,17 +256,32 @@ WorkQueue::appendLog(const QueueLogRecord &record)
     // One descriptor per run, opened lazily; every record goes down in
     // a single O_APPEND write() so concurrent appenders (coordinator +
     // N worker processes) interleave at line granularity, not byte.
+    // The log is an audit trail plus a seq/strike memory; the queue's
+    // *state* lives in the task/lease/done files. So append failures
+    // degrade (warn, retry the open next time) instead of killing the
+    // process — a torn line is skipped on load, a lost line costs
+    // history, never consistency.
     if (logFd_ < 0) {
         logFd_ = ::open(logPath().c_str(),
                         O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
-        if (logFd_ < 0)
-            cfl_fatal("cannot open queue log \"%s\": %s",
-                      logPath().c_str(), std::strerror(errno));
+        if (logFd_ < 0) {
+            cfl_warn("cannot open queue log \"%s\": %s",
+                     logPath().c_str(), std::strerror(errno));
+            return;
+        }
     }
-    if (::write(logFd_, line.data(), line.size()) !=
-        static_cast<ssize_t>(line.size()))
-        cfl_fatal("failed appending to queue log \"%s\"",
-                  logPath().c_str());
+    const ssize_t written = fault::faultWrite(
+        logFd_, line.data(), line.size(), "queue.log.append");
+    if (written != static_cast<ssize_t>(line.size())) {
+        cfl_warn("failed appending to queue log \"%s\": %s",
+                 logPath().c_str(), std::strerror(errno));
+        // Re-sync: a torn record left the log mid-line, which would
+        // corrupt the *next* record too. Terminating the debris (best
+        // effort — the disk may still be failing) confines the damage
+        // to this one line.
+        if (written > 0 && line[written - 1] != '\n')
+            (void)!::write(logFd_, "\n", 1);
+    }
 }
 
 std::vector<QueueLogRecord>
@@ -275,9 +333,14 @@ WorkQueue::enqueue(TaskRecord task)
     record.task = task;
     appendLog(record); // log the intent first, then publish
 
+    // Publication failures here stay fatal: an enqueue has no caller
+    // to retry it softly, and a restarted coordinator re-enqueues
+    // under a fresh run nonce without colliding with this debris.
     const std::string tmp = uniqueTmpPath("enqueue-" + task.id);
-    writeFileOrDie(tmp, sweepio::encodeTask(task) + "\n");
-    if (!tryRename(tmp, dir_ + "/pending/" + taskFileName(task)))
+    writeFileOrDie(tmp, sweepio::encodeTask(task) + "\n",
+                   "queue.task.write");
+    if (!faultTryRename(tmp, dir_ + "/pending/" + taskFileName(task),
+                        "queue.task.rename"))
         cfl_fatal("lost enqueue rename for task \"%s\"",
                   task.id.c_str());
     return task;
@@ -288,8 +351,9 @@ WorkQueue::cancelPending()
 {
     std::size_t count = 0;
     for (const std::string &name : sortedTaskFiles(dir_ + "/pending")) {
-        if (!tryRename(dir_ + "/pending/" + name,
-                       dir_ + "/cancelled/" + name))
+        if (!faultTryRename(dir_ + "/pending/" + name,
+                            dir_ + "/cancelled/" + name,
+                            "queue.cancel.rename"))
             continue; // a worker claimed it first; that attempt runs
         QueueLogRecord record;
         record.op = "cancel";
@@ -306,8 +370,9 @@ WorkQueue::cancelTask(const std::string &id)
     for (const std::string &name : sortedTaskFiles(dir_ + "/pending")) {
         if (idFromFileName(name) != id)
             continue;
-        if (!tryRename(dir_ + "/pending/" + name,
-                       dir_ + "/cancelled/" + name))
+        if (!faultTryRename(dir_ + "/pending/" + name,
+                            dir_ + "/cancelled/" + name,
+                            "queue.cancel.rename"))
             return false;
         QueueLogRecord record;
         record.op = "cancel";
@@ -399,18 +464,27 @@ WorkQueue::claim(const std::string &owner, unsigned lease_sec)
         lease.deadlineMs =
             nowMs() + static_cast<std::uint64_t>(lease_sec) * 1000;
         const std::string text = sweepio::encodeLease(lease) + "\n";
-        const ssize_t written = ::write(fd, text.data(), text.size());
+        const ssize_t written = fault::faultWrite(
+            fd, text.data(), text.size(), "queue.lease.write");
         const int close_err = ::close(fd);
         if (written != static_cast<ssize_t>(text.size()) ||
-            close_err != 0)
-            cfl_fatal("failed writing lease \"%s\"", lease_path.c_str());
+            close_err != 0) {
+            // A torn lease reads as expired, i.e. instantly stealable
+            // — abandoning this attempt (and the lease) is safe and
+            // lets another worker claim the task.
+            cfl_warn("failed writing lease \"%s\": %s",
+                     lease_path.c_str(), std::strerror(errno));
+            ::unlink(lease_path.c_str());
+            continue;
+        }
 
         // Step 2: move the task under the lease. Only the lease holder
         // renames, so there is no competing mover; ENOENT means the
         // coordinator cancelled (or a reclaim re-pended it under a new
         // name) between our scan and now — drop the lease and move on.
-        if (!tryRename(dir_ + "/pending/" + name,
-                       dir_ + "/claimed/" + name)) {
+        if (!faultTryRename(dir_ + "/pending/" + name,
+                            dir_ + "/claimed/" + name,
+                            "queue.claim.rename")) {
             ::unlink(lease_path.c_str());
             continue;
         }
@@ -450,10 +524,21 @@ WorkQueue::heartbeat(TaskClaim &claim, unsigned lease_sec)
     fresh.owner = claim.owner;
     fresh.deadlineMs =
         nowMs() + static_cast<std::uint64_t>(lease_sec) * 1000;
+    // A renewal failure is reported as a lost lease: the old lease
+    // stays valid until its deadline, after which reclaim re-pends the
+    // task — the caller abandons it either way, so no work is lost or
+    // doubled.
     const std::string tmp = uniqueTmpPath("lease-" + claim.task.id);
-    writeFileOrDie(tmp, sweepio::encodeLease(fresh) + "\n");
-    if (!tryRename(tmp, leasePath(claim.task.id)))
+    if (!tryWriteFile(tmp, sweepio::encodeLease(fresh) + "\n",
+                      "queue.lease.renew.write")) {
+        ::unlink(tmp.c_str());
         return false;
+    }
+    if (!faultTryRename(tmp, leasePath(claim.task.id),
+                        "queue.lease.renew.rename")) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
     claim.deadlineMs = fresh.deadlineMs;
     return true;
 }
@@ -470,13 +555,29 @@ WorkQueue::complete(const TaskClaim &claim, int exit_code)
             exit_code < 0 ? 255 : exit_code);
         const std::string tmp =
             uniqueTmpPath("done-" + claim.task.id);
-        writeFileOrDie(tmp, sweepio::encodeDone(done) + "\n");
+        // A completion that cannot be published is NOT fatal — and,
+        // critically, must not release the claim: with the task still
+        // claimed and the lease left to expire, reclaim re-pends it
+        // and another worker re-runs the (deterministic) command. The
+        // only cost of a failed publish is repeated work.
+        if (!tryWriteFile(tmp, sweepio::encodeDone(done) + "\n",
+                          "queue.done.write")) {
+            cfl_warn("cannot record completion of task \"%s\"; "
+                     "leaving it claimed for lease-expiry retry",
+                     claim.task.id.c_str());
+            ::unlink(tmp.c_str());
+            return;
+        }
         // Atomic publish; if a twin completion (reclaimed lease, both
         // workers finished) races us, last-rename-wins and either
         // record is a valid terminal state for a deterministic task.
-        if (!tryRename(tmp, done_path))
-            cfl_fatal("lost completion rename for task \"%s\"",
-                      claim.task.id.c_str());
+        if (!faultTryRename(tmp, done_path, "queue.done.rename")) {
+            cfl_warn("lost completion rename for task \"%s\"; "
+                     "leaving it claimed for lease-expiry retry",
+                     claim.task.id.c_str());
+            ::unlink(tmp.c_str());
+            return;
+        }
         QueueLogRecord record;
         record.op = "done";
         record.done = done;
@@ -528,8 +629,44 @@ WorkQueue::reclaimExpired()
         // the lease if there is one, then re-pend the task.
         if (lease && !stealLease(id))
             continue; // a heartbeat or another reclaimer raced us
-        if (!tryRename(dir_ + "/claimed/" + name,
-                       dir_ + "/pending/" + name))
+
+        // Poison-task quarantine: this reclaim is the task's Nth
+        // strike — each one means a worker died or stalled holding it.
+        // Past the budget, park it in quarantine/ with its context
+        // instead of feeding it to (and killing) workers forever.
+        const std::size_t strikes = reclaimCount(id) + 1;
+        if (quarantineAfter_ != 0 && strikes >= quarantineAfter_) {
+            if (!faultTryRename(dir_ + "/claimed/" + name,
+                                dir_ + "/quarantine/" + name,
+                                "queue.quarantine.rename"))
+                continue; // raced or injected: a later pass retries
+            std::string why =
+                "task " + id + " quarantined after " +
+                std::to_string(strikes) +
+                " reclaims (each one a worker death or stall)\n" +
+                "last owner: " +
+                (lease ? lease->owner : "<no lease: mid-claim crash>") +
+                "\n";
+            if (const std::optional<std::string> line = readFirstLine(
+                    dir_ + "/quarantine/" + name))
+                why += "task record: " + *line + "\n";
+            // Context is best-effort: losing the .why file never loses
+            // the quarantine itself (that is the rename above).
+            (void)tryWriteFile(dir_ + "/quarantine/" + id + ".why",
+                               why, "queue.quarantine.write");
+            QueueLogRecord record;
+            record.op = "quarantine";
+            record.task.id = id;
+            appendLog(record);
+            cfl_warn("quarantined poison task \"%s\" after %zu "
+                     "reclaims (see %s/quarantine/%s.why)", id.c_str(),
+                     strikes, dir_.c_str(), id.c_str());
+            continue; // quarantine is not a re-pend; not counted
+        }
+
+        if (!faultTryRename(dir_ + "/claimed/" + name,
+                            dir_ + "/pending/" + name,
+                            "queue.reclaim.rename"))
             continue;
         QueueLogRecord record;
         record.op = "reclaim";
@@ -540,10 +677,32 @@ WorkQueue::reclaimExpired()
     return count;
 }
 
+std::size_t
+WorkQueue::reclaimCount(const std::string &id) const
+{
+    std::size_t count = 0;
+    for (const QueueLogRecord &record : readLog())
+        if (record.op == "reclaim" && record.task.id == id)
+            ++count;
+    return count;
+}
+
+std::size_t
+WorkQueue::quarantinedCount() const
+{
+    return countTaskFiles(dir_ + "/quarantine");
+}
+
+bool
+WorkQueue::isQuarantined(const std::string &id) const
+{
+    return hasTaskFile(dir_ + "/quarantine", id);
+}
+
 void
 WorkQueue::requestStop()
 {
-    writeFileOrDie(dir_ + "/stop", "stop\n");
+    writeFileOrDie(dir_ + "/stop", "stop\n", "queue.stop.write");
 }
 
 bool

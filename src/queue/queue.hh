@@ -25,18 +25,33 @@
  *                 tmp-write + rename; completion is idempotent (a
  *                 second completion of the same task is a no-op)
  *   cancelled/    task files withdrawn by the coordinator
+ *   quarantine/   poison tasks — reclaimed (i.e. they killed or
+ *                 stalled their worker) quarantineAfter() times — plus
+ *                 an <id>.why file recording the fault context
  *   stop          marker file: workers drain and exit cleanly
  *
  * A lease past its deadline (its worker died or stalled) is reclaimed:
  * the lease file is atomically stolen (renamed away, so exactly one
  * reclaimer wins), and the task file moves claimed/ -> pending/ for
- * the next worker. Because completed outcomes also flow into the
+ * the next worker — unless that task has already burned through its
+ * strike budget, in which case it moves to quarantine/ instead of
+ * poisoning the fleet forever. Because completed outcomes also flow into the
  * content-addressed result cache (dispatch/result_cache.hh), a
  * coordinator can be SIGKILLed at any point and a fresh one resumes
  * from the queue + cache without losing — or repeating — any work.
  *
  * Environment: CONFLUENCE_QUEUE_DIR — defaultDir() (default
- * ".confluence-queue").
+ * ".confluence-queue"); CONFLUENCE_QUARANTINE_AFTER — quarantine
+ * strike budget (default 3, 0 disables).
+ *
+ * Every durability-critical write and rename here runs through the
+ * fault-injection layer (fault/fault.hh) under a stable "queue.*"
+ * site name, and injected failures take the *soft* path wherever one
+ * exists: a failed done-record write leaves the claim held (lease
+ * expiry re-runs the task), a failed log append degrades the audit
+ * trail but never the queue, a failed lease write abandons that claim
+ * attempt. See the chaos harness (tools/confluence_chaos) for the
+ * invariants this buys.
  *
  * Caveats for multi-host use: lease deadlines are wall-clock unix
  * time, so fleet clocks must agree to within a fraction of the lease;
@@ -135,10 +150,25 @@ class WorkQueue
     /**
      * Re-pend every claimed task whose lease expired (or vanished
      * mid-reclaim), and clean up claims whose done record exists but
-     * whose completer died before releasing. Returns how many tasks
-     * went back to pending/.
+     * whose completer died before releasing. A task reclaimed for the
+     * quarantineAfter()-th time is moved to quarantine/ (with an
+     * <id>.why context file) instead of pending/. Returns how many
+     * tasks went back to pending/.
      */
     std::size_t reclaimExpired();
+
+    // --- quarantine -------------------------------------------------------
+
+    /** Strike budget: a task reclaimed this many times is quarantined
+     *  instead of re-pended. 0 disables quarantine entirely. */
+    void setQuarantineAfter(unsigned strikes)
+    {
+        quarantineAfter_ = strikes;
+    }
+    unsigned quarantineAfter() const { return quarantineAfter_; }
+
+    std::size_t quarantinedCount() const;
+    bool isQuarantined(const std::string &id) const;
 
     // --- shutdown ---------------------------------------------------------
 
@@ -160,6 +190,8 @@ class WorkQueue
     using ClockFn = std::uint64_t (*)();
     /** Replace the wall clock (unix ms) for lease-expiry tests. */
     void setClockForTesting(ClockFn clock) { clock_ = clock; }
+    /** The queue wall clock: real (or test) unix ms, shifted by any
+     *  injected "queue.clock" skew (clamped at 0). */
     std::uint64_t nowMs() const;
 
   private:
@@ -172,9 +204,12 @@ class WorkQueue
     readLease(const std::string &id) const;
     /** Atomically take an expired lease out of play; false if raced. */
     bool stealLease(const std::string &id);
+    /** How many times task @p id has been reclaimed (from the log). */
+    std::size_t reclaimCount(const std::string &id) const;
 
     std::string dir_;
     ClockFn clock_ = nullptr;
+    unsigned quarantineAfter_ = 3;
     mutable std::mutex mutex_; ///< guards nextSeq_, logFd_, tmpCounter_
     std::uint64_t nextSeq_ = 0;
     int logFd_ = -1;           ///< tasks.jsonl, opened once per run

@@ -217,7 +217,8 @@ parseQueueLog(Parser &p)
         p.expect('{');
         record.done = parseDoneBody(p);
         record.task.id = record.done.id;
-    } else if (record.op == "cancel" || record.op == "reclaim") {
+    } else if (record.op == "cancel" || record.op == "reclaim" ||
+               record.op == "quarantine") {
         record.task.id = p.namedString("id");
     } else {
         p.error("unknown queue log op \"" + record.op + "\"");

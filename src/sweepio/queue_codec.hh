@@ -18,8 +18,9 @@
  *   DoneRecord  — how a task ended (exit status, completing owner).
  *
  * The queue's tasks.jsonl log multiplexes them as QueueLogRecord lines
- * tagged with an op ("enqueue", "cancel", "reclaim", "done"), giving
- * every queue directory an auditable, greppable history.
+ * tagged with an op ("enqueue", "cancel", "reclaim", "quarantine",
+ * "done"), giving every queue directory an auditable, greppable
+ * history.
  *
  * Unlike the sweep codec, the strings here (shell commands, file
  * paths, owners) are user-influenced, so encoding escapes '"' and '\\'
@@ -69,9 +70,9 @@ struct DoneRecord
 /** One line of the queue's tasks.jsonl audit log. */
 struct QueueLogRecord
 {
-    /** "enqueue" (task holds the full record), "cancel" / "reclaim"
-     *  (only task.id is meaningful), or "done" (done holds the
-     *  record; task.id mirrors done.id). */
+    /** "enqueue" (task holds the full record), "cancel" / "reclaim" /
+     *  "quarantine" (only task.id is meaningful), or "done" (done
+     *  holds the record; task.id mirrors done.id). */
     std::string op;
     TaskRecord task;
     DoneRecord done;

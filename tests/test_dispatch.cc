@@ -435,6 +435,75 @@ TEST(DispatchShards, FirstAttemptCommandIsUsedExactlyOnce)
 }
 
 // ---------------------------------------------------------------------------
+// Retry backoff: deterministic jittered delays, stats accounting
+// ---------------------------------------------------------------------------
+
+TEST(DispatchBackoff, DelayIsDeterministicBoundedAndCapped)
+{
+    RetryPolicy policy;
+    policy.backoffBaseMs = 100;
+    policy.backoffCapMs = 5000;
+    policy.backoffSeed = 42;
+
+    // No failures yet, or backoff disabled: no delay.
+    EXPECT_EQ(backoffDelayMs(policy, 0, 0), 0u);
+    RetryPolicy off = policy;
+    off.backoffBaseMs = 0;
+    EXPECT_EQ(backoffDelayMs(off, 0, 3), 0u);
+
+    for (unsigned shard = 0; shard < 4; ++shard) {
+        for (unsigned failures = 1; failures < 12; ++failures) {
+            const std::uint64_t delay =
+                backoffDelayMs(policy, shard, failures);
+            // Deterministic: same (policy, shard, failures) in a
+            // restarted coordinator waits the same time.
+            EXPECT_EQ(delay, backoffDelayMs(policy, shard, failures));
+            // Jitter stays within [nominal/2, nominal], nominal being
+            // the capped exponential base << (failures-1).
+            const std::uint64_t nominal = std::min<std::uint64_t>(
+                policy.backoffCapMs,
+                static_cast<std::uint64_t>(policy.backoffBaseMs)
+                    << std::min(failures - 1, 20u));
+            EXPECT_GE(delay, nominal / 2);
+            EXPECT_LE(delay, nominal);
+        }
+        // Deep failure counts saturate at the cap, never overflow.
+        EXPECT_LE(backoffDelayMs(policy, shard, 64), 5000u);
+        EXPECT_GE(backoffDelayMs(policy, shard, 64), 2500u);
+    }
+
+    // Different shards (and seeds) jitter differently, so a fleet of
+    // failing shards does not retry in lockstep.
+    bool differs = false;
+    for (unsigned shard = 1; shard < 8 && !differs; ++shard)
+        differs = backoffDelayMs(policy, shard, 3) !=
+                  backoffDelayMs(policy, 0, 3);
+    EXPECT_TRUE(differs);
+}
+
+TEST(DispatchShards, RetriesAccumulateBackoffIntoTheShardRun)
+{
+    FakeBackend backend(3, {1}, 2);
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.backoffBaseMs = 4; // keep the test fast but nonzero
+    policy.backoffCapMs = 50;
+    policy.backoffSeed = 7;
+
+    const std::vector<ShardRun> runs =
+        dispatchShards(backend, fakeJobs(3), policy);
+    ASSERT_EQ(runs.size(), 3u);
+    const ShardRun &faulty = runs[1];
+    EXPECT_TRUE(faulty.ok);
+    EXPECT_EQ(faulty.attempts, 3u);
+    // Two failures, two waits — exactly the deterministic delays.
+    EXPECT_EQ(faulty.backoffMs, backoffDelayMs(policy, 1, 1) +
+                                    backoffDelayMs(policy, 1, 2));
+    EXPECT_EQ(runs[0].backoffMs, 0u);
+    EXPECT_EQ(runs[2].backoffMs, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Cache-only dispatch: zero backend traffic, original point order
 // ---------------------------------------------------------------------------
 

@@ -17,13 +17,16 @@
  *   confluence_dispatch --points spec.jsonl --out merged.jsonl
  *       [--backend local|ssh|queue] [--workers N] [--hosts h1,h2,..]
  *       [--remote-dir DIR] [--queue-dir DIR] [--shards M]
- *       [--timeout SEC] [--retries K] [--sweep-bin PATH]
- *       [--cache FILE | --no-cache] [--code-version TAG]
- *       [--work-dir DIR]
- *     Dispatch the spec and write the merged result. Prints one
- *     machine-readable stats line to stdout:
+ *       [--timeout SEC] [--retries K] [--backoff-ms MS]
+ *       [--sweep-bin PATH] [--cache FILE | --no-cache]
+ *       [--code-version TAG] [--work-dir DIR]
+ *     Dispatch the spec and write the merged result. Failed shards
+ *     retry after a capped exponential backoff with deterministic
+ *     jitter (--backoff-ms sets the first-retry delay; 0 disables).
+ *     Prints one machine-readable stats line to stdout:
  *       dispatch total_points=.. cache_hits=.. cache_misses=..
  *                evaluated_points=.. shards=.. retries=..
+ *                attempts=.. backoff_ms=..
  *     --backend queue enqueues cache-miss shards into a persistent
  *     work queue (src/queue; --queue-dir, default $CONFLUENCE_QUEUE_DIR)
  *     that confluence_worker daemons pull from. The coordinator is
@@ -45,20 +48,27 @@
  *     regressed run never becomes the next comparison baseline.
  *
  * Environment:
- *   CONFLUENCE_DISPATCH_FAULT  fault-injection hooks for CI:
+ *   CONFLUENCE_FAULT_PLAN  the unified fault-injection framework
+ *       (fault/fault.hh): a seeded, site-indexed schedule of injected
+ *       failures, honored by every instrumented site in this process.
+ *   CONFLUENCE_DISPATCH_FAULT  legacy aliases, translated onto the
+ *       framework at startup:
  *       shard:K       poison shard K's first attempt (the child dies
  *                     before writing its result; the retry is clean);
- *       kill-after:K  (queue backend only) SIGKILL this coordinator
- *                     the moment the Kth task completion is observed —
- *                     the crash the queue-sweep CI job restarts from.
+ *       kill-after:K  (queue backend only) becomes a fault-plan pin
+ *                     killing this coordinator the moment the Kth task
+ *                     completion is observed — the crash the
+ *                     queue-sweep CI job restarts from.
  *   CONFLUENCE_QUEUE_DIR  default --queue-dir for the queue backend.
+ *   CONFLUENCE_QUARANTINE_AFTER  queue quarantine strike budget.
  *   CONFLUENCE_CACHE_DIR / CONFLUENCE_CODE_VERSION  default cache
  *       location and cache key code-version tag (see --cache /
  *       --code-version).
  *
  * Exit codes: 0 success, 1 fatal error (bad configuration, shard
  * exhausted its retries), 2 usage, 5 regression threshold exceeded;
- * 137 (SIGKILL) when the kill-after fault fires.
+ * 137 (SIGKILL) when the kill-after fault fires. A shard whose queue
+ * task is quarantined as poison surfaces exit 6 and is not retried.
  */
 
 #include <chrono>
@@ -72,6 +82,7 @@
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "dispatch/backend.hh"
+#include "fault/fault.hh"
 #include "dispatch/dispatcher.hh"
 #include "dispatch/history.hh"
 #include "dispatch/result_cache.hh"
@@ -97,13 +108,14 @@ usage(const char *argv0)
         "     [--backend local|ssh|queue] [--workers N]\n"
         "     [--hosts h1,h2,..] [--remote-dir DIR] [--queue-dir DIR]\n"
         "     [--shards M] [--timeout SEC] [--retries K]\n"
-        "     [--sweep-bin PATH] [--cache FILE | --no-cache]\n"
+        "     [--backoff-ms MS] [--sweep-bin PATH]\n"
+        "     [--cache FILE | --no-cache]\n"
         "     [--code-version TAG] [--work-dir DIR]\n"
         "  %s --queue-dir DIR --stop-workers\n"
         "  %s --history history.jsonl --result merged.jsonl --tag TAG\n"
         "     [--threshold FRAC]\n"
         "exit codes: 0 ok, 1 fatal, 2 usage, 5 regression over "
-        "threshold\n",
+        "threshold, 6 task quarantined\n",
         argv0, argv0, argv0);
     std::exit(kExitUsage);
 }
@@ -211,6 +223,7 @@ main(int argc, char **argv)
     std::string queue_dir = queue::WorkQueue::defaultDir();
     bool stop_workers = false;
     unsigned shards = 0, timeout_sec = 0, retries = 2;
+    unsigned backoff_ms = 100;
     std::string sweep_bin = defaultSweepBin(argv[0]);
     std::string cache_path = dispatch::ResultCache::defaultStorePath();
     std::string code_version =
@@ -250,6 +263,8 @@ main(int argc, char **argv)
             timeout_sec = parseUnsignedFlag(arg, value());
         else if (arg == "--retries")
             retries = parseUnsignedFlag(arg, value());
+        else if (arg == "--backoff-ms")
+            backoff_ms = parseUnsignedFlag(arg, value());
         else if (arg == "--sweep-bin")
             sweep_bin = value();
         else if (arg == "--cache")
@@ -322,10 +337,23 @@ main(int argc, char **argv)
         reconcileQueue(*wq);
         queue::QueueBackend::Options qopts;
         qopts.slots = workers;
-        if (kill_after_fault)
-            qopts.killAfterCompletions = parseUnsignedFlag(
+        if (kill_after_fault) {
+            // Legacy alias onto the unified framework: kill-after:K
+            // becomes a pin firing Kill at the (K-1)-th hit (i.e. the
+            // Kth observation) of the completion site. Merging into
+            // any CONFLUENCE_FAULT_PLAN already active keeps the two
+            // hooks composable.
+            const unsigned k = parseUnsignedFlag(
                 "kill-after fault",
                 fault.substr(kill_after_prefix.size()));
+            if (k == 0)
+                cfl_fatal("kill-after:K needs K >= 1");
+            fault::FaultPlan plan =
+                fault::activePlan().value_or(fault::FaultPlan{});
+            plan.pins.push_back({"queue.backend.completion", k - 1,
+                                 fault::Kind::Kill, false, 0});
+            fault::installPlan(plan);
+        }
         backend = std::make_unique<queue::QueueBackend>(*wq, qopts);
     } else {
         cfl_fatal("unknown backend \"%s\" (local|ssh|queue)",
@@ -345,6 +373,7 @@ main(int argc, char **argv)
     opts.shards = shards;
     opts.retry.maxAttempts = retries + 1;
     opts.retry.timeoutSec = timeout_sec;
+    opts.retry.backoffBaseMs = backoff_ms;
     // In queue mode the workers own cache write-back (that is what
     // makes a coordinator kill lossless); everywhere else the
     // coordinator stores fresh outcomes itself.
@@ -375,12 +404,14 @@ main(int argc, char **argv)
                  backend_name.c_str(), out_path.c_str());
     std::printf("dispatch total_points=%zu cache_hits=%llu "
                 "cache_misses=%llu evaluated_points=%zu shards=%u "
-                "retries=%u\n",
+                "retries=%u attempts=%u backoff_ms=%llu\n",
                 stats.totalPoints,
                 static_cast<unsigned long long>(
                     cache ? cache->hits() : 0),
                 static_cast<unsigned long long>(
                     cache ? cache->misses() : 0),
-                stats.evaluatedPoints, stats.shards, stats.retries);
+                stats.evaluatedPoints, stats.shards, stats.retries,
+                stats.attempts,
+                static_cast<unsigned long long>(stats.backoffMs));
     return 0;
 }

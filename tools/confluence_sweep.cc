@@ -39,9 +39,11 @@
  *   3  duplicate-point rejection — a corrupt spec (--points: two specs
  *      concatenated) or shard set (--merge: a shard merged twice);
  *      deterministic, never worth a retry
- *   4  injected fault (CONFLUENCE_SWEEP_FAULT=abort): --points dies
- *      after evaluating but before writing its result, simulating a
- *      worker killed mid-run — the dispatcher fault-injection hook
+ *   4  injected fault: --points died at the "sweep.result.publish"
+ *      fault site (after evaluating, before writing its result),
+ *      simulating a worker killed mid-run. Configure via
+ *      CONFLUENCE_FAULT_PLAN (fault/fault.hh) or the legacy
+ *      CONFLUENCE_SWEEP_FAULT=abort alias.
  */
 
 #include <algorithm>
@@ -54,6 +56,7 @@
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "fault/fault.hh"
 #include "sim/sweep.hh"
 #include "sweepio/codec.hh"
 #include "sweepio/shard.hh"
@@ -65,7 +68,9 @@ namespace
 
 constexpr int kExitUsage = 2;
 constexpr int kExitDuplicatePoint = 3;
-constexpr int kExitInjectedFault = 4;
+// Exit 4 = injected fault: fault::checkpoint("sweep.result.publish")
+// dies with the plan's die-exit, which defaults to 4 precisely so this
+// tool's documented code survives the framework migration.
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -80,7 +85,8 @@ usage(const char *argv0)
         "  %s --summary result.jsonl\n"
         "exit codes: 0 ok, 1 fatal, 2 usage, 3 duplicate point "
         "(--points/--merge),\n"
-        "  4 injected fault (CONFLUENCE_SWEEP_FAULT=abort)\n",
+        "  4 injected fault (CONFLUENCE_FAULT_PLAN / "
+        "CONFLUENCE_SWEEP_FAULT=abort)\n",
         argv0, argv0, argv0, argv0);
     std::exit(kExitUsage);
 }
@@ -170,18 +176,12 @@ runPoints(const std::string &spec_path, const std::string &shard_spec,
         result = runTimingSweep(points, config, engine);
     }
 
-    // Fault-injection hook for dispatcher tests: die *after* the sweep
-    // but *before* the result exists, like a worker killed mid-run.
-    if (const char *fault = std::getenv("CONFLUENCE_SWEEP_FAULT")) {
-        if (std::string(fault) == "abort") {
-            std::fprintf(stderr, "injected fault: dying before writing "
-                         "%s\n", out_path.c_str());
-            std::exit(kExitInjectedFault);
-        }
-        if (*fault != '\0')
-            cfl_fatal("unknown CONFLUENCE_SWEEP_FAULT \"%s\" (abort)",
-                      fault);
-    }
+    // Fault-injection site for dispatcher tests: a plan pinning a
+    // death here dies *after* the sweep but *before* the result
+    // exists, like a worker killed mid-run. The legacy
+    // CONFLUENCE_SWEEP_FAULT=abort spelling maps onto exactly that pin
+    // (fault/fault.hh), preserving the documented exit code 4.
+    fault::checkpoint("sweep.result.publish");
 
     sweepio::writeResult(out_path, result);
     std::fprintf(stderr, "evaluated %zu points (%u workers) into %s\n",

@@ -58,6 +58,7 @@
 #include "common/strings.hh"
 #include "dispatch/backend.hh"
 #include "dispatch/result_cache.hh"
+#include "fault/fault.hh"
 #include "queue/queue.hh"
 #include "sweepio/codec.hh"
 
@@ -160,6 +161,9 @@ main(int argc, char **argv)
                 queue.claim(owner, lease_sec)) {
             std::fprintf(stderr, "worker %s: claimed task %s\n",
                          owner.c_str(), claim->task.id.c_str());
+            // Death point for chaos runs: dying here leaves the claim
+            // held and the command unrun — pure lease-expiry recovery.
+            fault::checkpoint("worker.task.claimed");
             const auto start = Clock::now();
 
             // Heartbeat from the command's wait loop: every lease/3
@@ -207,8 +211,16 @@ main(int argc, char **argv)
                 for (const SweepOutcome &o : result.points)
                     cache->insert(o);
                 cache->flush();
+                if (cache->degraded())
+                    cfl_warn("worker %s: cache write-back degraded; "
+                             "completing tasks without persisting "
+                             "their outcomes", owner.c_str());
             }
             queue.complete(*claim, exit_code);
+            // Death point between durable completion and the next
+            // claim — the window the cache-before-done ordering
+            // protects.
+            fault::checkpoint("worker.task.completed");
 
             const std::chrono::duration<double> elapsed =
                 Clock::now() - start;
