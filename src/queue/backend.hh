@@ -56,6 +56,12 @@ class QueueBackend : public dispatch::WorkerBackend
     {
         unsigned slots = 2;   ///< concurrent enqueue/wait slots
         unsigned pollMs = 50; ///< done-record poll interval
+        /** Tenant the submitted tasks run as ("" = "default"). When
+         *  the tenant has a submission quota, run() waits for
+         *  headroom (polling at pollMs) instead of overflowing it. */
+        std::string tenant;
+        /** Priority of the submitted tasks (higher claims first). */
+        std::int64_t priority = 0;
     };
 
     QueueBackend(WorkQueue &queue, Options opts);
