@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regression-history dashboard: one row per recorded run, one column
+ * per front-end kind, each cell the geomean speedup over Baseline with
+ * its delta vs the previous run. Renders a dispatch/history.hh JSONL
+ * store (CI's history artifact; pass it as --input); table shape lives
+ * in the figure registry (bench/figures.cc).
+ */
+
+#include "figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return cfl::bench::runFigureMain("history", argc, argv);
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Adaptive-search Pareto figure: geomean speedup over Baseline vs
+ * dedicated front-end storage, front members starred. Renders the
+ * --pareto-out JSON dump of tools/confluence_search (pass it as
+ * --input); table shape and parsing live in the figure registry
+ * (bench/figures.cc).
+ */
+
+#include "figures.hh"
+
+int
+main(int argc, char **argv)
+{
+    return cfl::bench::runFigureMain("pareto", argc, argv);
+}

@@ -1,12 +1,16 @@
 #include "figures.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "dispatch/history.hh"
 #include "sim/metrics.hh"
 #include "sweepio/codec.hh"
+#include "sweepio/json.hh"
 
 namespace cfl::bench
 {
@@ -410,6 +414,209 @@ fig10Spec()
 }
 
 // ---------------------------------------------------------------------------
+// Pareto figure: the adaptive search's speedup-vs-storage frontier
+// ---------------------------------------------------------------------------
+
+/** One row of a confluence_search --pareto-out JSON dump. */
+struct ParetoRow
+{
+    std::string candidate;
+    std::string kind;
+    double storageKb = 0.0;
+    double areaMm2 = 0.0;
+    double score = 0.0;
+    bool onFront = false;
+};
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        cfl_fatal("cannot open \"%s\" for reading", path.c_str());
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Parse "true"/"false" after a named key (the one place the stores
+ *  hold a bool). */
+bool
+namedBool(sweepio::MiniJsonParser &p, const char *name)
+{
+    p.namedKey(name);
+    if (p.accept('t')) {
+        p.expect('r');
+        p.expect('u');
+        p.expect('e');
+        return true;
+    }
+    p.expect('f');
+    p.expect('a');
+    p.expect('l');
+    p.expect('s');
+    p.expect('e');
+    return false;
+}
+
+std::vector<ParetoRow>
+readParetoJson(const std::string &path)
+{
+    const std::string text = readWholeFile(path);
+    sweepio::MiniJsonParser p(text, "pareto dump");
+    std::vector<ParetoRow> rows;
+    p.expect('{');
+    p.namedKey("candidates");
+    p.expect('[');
+    if (!p.accept(']')) {
+        do {
+            p.expect('{');
+            ParetoRow row;
+            row.candidate = p.namedString("candidate");
+            p.expect(',');
+            row.kind = p.namedString("kind");
+            p.expect(',');
+            row.storageKb =
+                sweepio::doubleFromBits(p.namedNumber("storage_kb_bits"));
+            p.expect(',');
+            row.areaMm2 =
+                sweepio::doubleFromBits(p.namedNumber("area_mm2_bits"));
+            p.expect(',');
+            row.score =
+                sweepio::doubleFromBits(p.namedNumber("score_bits"));
+            p.expect(',');
+            row.onFront = namedBool(p, "on_front");
+            p.expect('}');
+            rows.push_back(std::move(row));
+        } while (p.accept(','));
+        p.expect(']');
+    }
+    p.expect('}');
+    p.end();
+    return rows;
+}
+
+FigureSpec
+paretoSpec()
+{
+    ArtifactFigure f;
+    f.report = [](const std::string &title,
+                  const std::string &input_path) {
+        Report report(title, {"candidate", "kind", "storage (KB)",
+                              "area (mm2)", "geomean speedup", "front"});
+        for (const ParetoRow &row : readParetoJson(input_path))
+            report.addRow({row.candidate, row.kind,
+                           Report::num(row.storageKb, 2),
+                           Report::num(row.areaMm2, 3),
+                           Report::ratio(row.score),
+                           row.onFront ? "*" : ""});
+        return report;
+    };
+    f.footer = [](const std::string &input_path) {
+        const std::vector<ParetoRow> rows = readParetoJson(input_path);
+        std::size_t front = 0;
+        const ParetoRow *best = nullptr;
+        for (const ParetoRow &row : rows) {
+            front += row.onFront ? 1 : 0;
+            if (best == nullptr || row.score > best->score)
+                best = &row;
+        }
+        if (best == nullptr)
+            return std::string("\nno candidates\n");
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "\nPareto front: %zu of %zu candidates; best %s "
+                      "(%.4fx at %.1f KB)\n",
+                      front, rows.size(), best->candidate.c_str(),
+                      best->score, best->storageKb);
+        return std::string(buf);
+    };
+    return {"pareto",
+            "Adaptive search: geomean speedup vs dedicated front-end "
+            "storage (Pareto front starred)",
+            std::move(f)};
+}
+
+// ---------------------------------------------------------------------------
+// History figure: the regression dashboard over CI's history store
+// ---------------------------------------------------------------------------
+
+FigureSpec
+historySpec()
+{
+    ArtifactFigure f;
+    f.report = [](const std::string &title,
+                  const std::string &input_path) {
+        const dispatch::RegressionHistory history(input_path);
+        const auto &entries = history.entries();
+
+        // Columns: the union of kind slugs in first-appearance order,
+        // so a design added mid-history grows a column, not a reparse.
+        std::vector<std::string> kinds;
+        for (const dispatch::HistoryEntry &e : entries)
+            for (const auto &[kind, geomean] : e.geomeans)
+                if (std::find(kinds.begin(), kinds.end(), kind) ==
+                    kinds.end())
+                    kinds.push_back(kind);
+
+        std::vector<std::string> columns = {"run"};
+        columns.insert(columns.end(), kinds.begin(), kinds.end());
+        Report report(title, std::move(columns));
+
+        const auto lookup =
+            [](const dispatch::HistoryEntry &e,
+               const std::string &kind) -> const double * {
+            for (const auto &[k, g] : e.geomeans)
+                if (k == kind)
+                    return &g;
+            return nullptr;
+        };
+
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            std::vector<std::string> row = {entries[i].tag};
+            for (const std::string &kind : kinds) {
+                const double *cur = lookup(entries[i], kind);
+                if (cur == nullptr) {
+                    row.push_back("-");
+                    continue;
+                }
+                const double *prev =
+                    i > 0 ? lookup(entries[i - 1], kind) : nullptr;
+                char buf[64];
+                if (prev != nullptr && *prev != 0.0)
+                    std::snprintf(buf, sizeof(buf), "%.4f (%+.2f%%)",
+                                  *cur, 100.0 * (*cur / *prev - 1.0));
+                else
+                    std::snprintf(buf, sizeof(buf), "%.4f", *cur);
+                row.push_back(buf);
+            }
+            report.addRow(std::move(row));
+        }
+        return report;
+    };
+    f.footer = [](const std::string &input_path) {
+        const dispatch::RegressionHistory history(input_path);
+        const auto deltas = history.deltas();
+        if (deltas.empty())
+            return std::string(
+                "\nfewer than two runs; no deltas to report\n");
+        std::string out = "\nnewest vs previous:";
+        for (const dispatch::RegressionDelta &d : deltas) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), " %s %+.2f%%",
+                          d.kind.c_str(), 100.0 * d.delta);
+            out += buf;
+        }
+        out += "\n";
+        return out;
+    };
+    return {"history",
+            "Regression history: geomean speedup over Baseline per run "
+            "(delta vs previous run)",
+            std::move(f)};
+}
+
+// ---------------------------------------------------------------------------
 // Table 2: branch density in demand-fetched blocks (functional)
 // ---------------------------------------------------------------------------
 
@@ -485,6 +692,8 @@ figureRegistry()
         figures.push_back(fig09Spec());
         figures.push_back(fig10Spec());
         figures.push_back(table2Spec());
+        figures.push_back(paretoSpec());
+        figures.push_back(historySpec());
         return figures;
     }();
     return kFigures;
@@ -506,17 +715,45 @@ runFigureMain(const std::string &name, int argc, char **argv)
     cfl_assert(spec != nullptr, "figure \"%s\" is not registered",
                name.c_str());
 
-    std::string csv_path, json_path;
+    std::string csv_path, json_path, input_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--csv" && i + 1 < argc)
             csv_path = argv[++i];
         else if (arg == "--json" && i + 1 < argc)
             json_path = argv[++i];
+        else if (arg == "--input" && i + 1 < argc)
+            input_path = argv[++i];
         else
-            cfl_fatal("usage: %s [--csv <path|->] [--json <path|->]",
+            cfl_fatal("usage: %s [--csv <path|->] [--json <path|->] "
+                      "[--input <path>]",
                       argv[0]);
     }
+
+    if (const auto *artifact = std::get_if<ArtifactFigure>(&spec->body)) {
+        if (input_path.empty())
+            cfl_fatal("figure \"%s\" renders an artifact file; pass "
+                      "--input <path>",
+                      name.c_str());
+        if (!json_path.empty())
+            cfl_fatal("--json dumps a timing SweepResult; figure \"%s\" "
+                      "is artifact-backed (use --csv)",
+                      name.c_str());
+        const Report report = artifact->report(spec->title, input_path);
+        report.print();
+        if (artifact->footer) {
+            const std::string footer = artifact->footer(input_path);
+            std::fwrite(footer.data(), 1, footer.size(), stdout);
+            std::fflush(stdout);
+        }
+        if (!csv_path.empty())
+            writeText(csv_path, report.csv());
+        return 0;
+    }
+    if (!input_path.empty())
+        cfl_fatal("--input feeds an artifact figure; figure \"%s\" "
+                  "sweeps its own points",
+                  name.c_str());
 
     const RunScale scale = currentScale();
     SweepEngine engine;

@@ -73,12 +73,27 @@ struct FunctionalFigure
         report;
 };
 
+/**
+ * A figure rendered from an existing artifact file — a search Pareto
+ * dump or a regression-history store — instead of a fresh sweep. The
+ * runner passes the --input path through; the figure owns parsing it.
+ */
+struct ArtifactFigure
+{
+    std::function<Report(const std::string &title,
+                         const std::string &input_path)>
+        report;
+
+    /** Optional headline text printed after the table. */
+    std::function<std::string(const std::string &input_path)> footer;
+};
+
 /** A declarative paper figure/table: points + row formatting. */
 struct FigureSpec
 {
     std::string name;   ///< stable id, e.g. "fig06"
     std::string title;  ///< printed table title
-    std::variant<TimingFigure, FunctionalFigure> body;
+    std::variant<TimingFigure, FunctionalFigure, ArtifactFigure> body;
 };
 
 /** All registered figures, in paper order. */
@@ -95,6 +110,8 @@ const FigureSpec *findFigure(const std::string &name);
  *   --csv <path>    write the table as CSV ("-" for stdout)
  *   --json <path>   write the SweepResult as sweepio JSONL ("-" for
  *                   stdout; timing figures only)
+ *   --input <path>  the artifact file an ArtifactFigure renders
+ *                   (required for artifact figures, rejected otherwise)
  *
  * Returns the process exit code.
  */

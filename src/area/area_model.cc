@@ -10,6 +10,18 @@
 namespace cfl
 {
 
+StorageSummary
+summarizeStructures(const std::vector<StructureArea> &structures)
+{
+    StorageSummary sum;
+    for (const StructureArea &s : structures) {
+        sum.dedicatedKiloBytes += s.kiloBytes;
+        sum.dedicatedMm2 += s.mm2;
+        sum.llcKiloBytes += s.llcKiloBytes;
+    }
+    return sum;
+}
+
 double
 AreaModel::mm2ForKb(double kilo_bytes)
 {

@@ -35,6 +35,19 @@ struct StructureArea
     double llcKiloBytes = 0.0; ///< LLC capacity consumed (virtualized)
 };
 
+/** Totals over a design point's storage inventory. */
+struct StorageSummary
+{
+    double dedicatedKiloBytes = 0.0; ///< sum of dedicated SRAM KB
+    double dedicatedMm2 = 0.0;       ///< sum of dedicated area
+    double llcKiloBytes = 0.0;       ///< sum of virtualized LLC KB
+};
+
+/** Sum a structure inventory (e.g. frontendStructures()) into the
+ *  storage-cost totals the Pareto search ranks candidates by. */
+StorageSummary
+summarizeStructures(const std::vector<StructureArea> &structures);
+
 /** Area model with the paper's calibration. */
 class AreaModel
 {

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Coordinate descent over the axis lattice.
+ *
+ * Each kind in the space (or the single --start candidate) seeds an
+ * incumbent. A pass scores every lattice neighbor of the incumbent —
+ * one relevant axis stepped one position up or down, where position 0
+ * is "unset" (the Table-1 default) and positions 1..n are the axis's
+ * value list — exactly, on the full workload set. The incumbent moves
+ * to the best neighbor only on a *strict* score improvement (ties
+ * never move), so the walk terminates and revisits nothing; every
+ * evaluation en route is memoized by the result cache anyway. All
+ * exactly-scored candidates feed the final Pareto front, so descent
+ * surfaces the frontier it walked past, not just where it stopped.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "search/strategies.hh"
+
+namespace cfl::search::detail
+{
+
+namespace
+{
+
+/** Lattice position of @p candidate on each space axis relevant to
+ *  its kind: 0 = unset, 1..n = index into the axis values + 1.
+ *  fatal() if a set field is not on the axis (foreign --start). */
+std::vector<std::size_t>
+latticePosition(const DesignSpace &space, const Candidate &candidate)
+{
+    std::vector<std::size_t> pos;
+    DesignOverlay overlay = candidate.overlay;
+    for (const Axis &axis : space.axes) {
+        if (!axisRelevant(axis.name, candidate.kind))
+            continue;
+        const std::uint64_t value = overlayField(overlay, axis.name);
+        if (value == 0) {
+            pos.push_back(0);
+            continue;
+        }
+        const auto it =
+            std::find(axis.values.begin(), axis.values.end(), value);
+        if (it == axis.values.end())
+            cfl_fatal("start candidate value %llu is not on axis "
+                      "\"%s\" of this space",
+                      static_cast<unsigned long long>(value),
+                      axis.name.c_str());
+        pos.push_back(
+            static_cast<std::size_t>(it - axis.values.begin()) + 1);
+    }
+    return pos;
+}
+
+Candidate
+candidateAt(const DesignSpace &space, FrontendKind kind,
+            const std::vector<std::size_t> &pos)
+{
+    Candidate c;
+    c.kind = kind;
+    std::size_t i = 0;
+    for (const Axis &axis : space.axes) {
+        if (!axisRelevant(axis.name, kind))
+            continue;
+        if (pos[i] > 0)
+            overlayField(c.overlay, axis.name) = axis.values[pos[i] - 1];
+        ++i;
+    }
+    return c;
+}
+
+} // namespace
+
+SearchReport
+runDescent(StrategyContext &ctx)
+{
+    const SearchOptions &opts = ctx.opts;
+    const std::size_t W = opts.workloads.size();
+
+    std::vector<Candidate> starts;
+    if (!opts.startSlug.empty()) {
+        Candidate start = candidateFromSlug(opts.startSlug);
+        if (!validCandidate(start))
+            cfl_fatal("start candidate \"%s\" is structurally invalid",
+                      opts.startSlug.c_str());
+        starts.push_back(start);
+    } else {
+        // One Table-1 incumbent per kind in the space.
+        for (const FrontendKind kind : opts.space.kinds)
+            starts.push_back(Candidate{kind, {}});
+    }
+
+    // slug -> exact score, accumulated across all rounds for the front.
+    std::map<std::string, ScoredCandidate> scoredBySlug;
+    const auto record = [&](const Candidate &c, double score) {
+        scoredBySlug.insert_or_assign(
+            c.slug(), ScoredCandidate{c, score, candidateCost(c)});
+    };
+
+    for (const Candidate &start : starts) {
+        const std::uint64_t startRound = ctx.round;
+        const double startScore =
+            ctx.scoreRound({start}, W, /*sampled=*/false)[0];
+        ctx.emitDecision(startRound, start, "start", startScore,
+                         candidateCost(start));
+        record(start, startScore);
+
+        Candidate incumbent = start;
+        double incumbentScore = startScore;
+        std::vector<std::size_t> pos =
+            latticePosition(opts.space, incumbent);
+
+        bool improved = true;
+        while (improved && !pos.empty() && !ctx.budgetExhausted()) {
+            improved = false;
+
+            // Deterministic neighbor list: axis order, down then up.
+            std::vector<Candidate> neighbors;
+            for (std::size_t a = 0; a < pos.size(); ++a) {
+                std::size_t axisIdx = 0, seen = 0;
+                for (std::size_t s = 0; s < opts.space.axes.size(); ++s)
+                    if (axisRelevant(opts.space.axes[s].name,
+                                     incumbent.kind) &&
+                        seen++ == a)
+                        axisIdx = s;
+                const std::size_t top =
+                    opts.space.axes[axisIdx].values.size();
+                for (const int step : {-1, +1}) {
+                    if (step < 0 && pos[a] == 0)
+                        continue;
+                    if (step > 0 && pos[a] == top)
+                        continue;
+                    std::vector<std::size_t> np = pos;
+                    np[a] += step;
+                    const Candidate n =
+                        candidateAt(opts.space, incumbent.kind, np);
+                    if (validCandidate(n))
+                        neighbors.push_back(n);
+                }
+            }
+            if (neighbors.empty())
+                break;
+
+            const std::uint64_t thisRound = ctx.round;
+            const std::vector<double> scores =
+                ctx.scoreRound(neighbors, W, /*sampled=*/false);
+            for (std::size_t i = 0; i < neighbors.size(); ++i) {
+                ctx.emitDecision(thisRound, neighbors[i], "screen",
+                                 scores[i],
+                                 candidateCost(neighbors[i]));
+                record(neighbors[i], scores[i]);
+            }
+
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < neighbors.size(); ++i)
+                if (scores[i] > scores[best] ||
+                    (scores[i] == scores[best] &&
+                     neighbors[i].slug() < neighbors[best].slug()))
+                    best = i;
+
+            if (scores[best] > incumbentScore) {
+                incumbent = neighbors[best];
+                incumbentScore = scores[best];
+                pos = latticePosition(opts.space, incumbent);
+                ctx.emitDecision(thisRound, incumbent, "move",
+                                 incumbentScore,
+                                 candidateCost(incumbent));
+                improved = true;
+            } else {
+                ctx.emitDecision(thisRound, incumbent, "stay",
+                                 incumbentScore,
+                                 candidateCost(incumbent));
+            }
+        }
+    }
+
+    std::vector<ScoredCandidate> scored;
+    scored.reserve(scoredBySlug.size());
+    for (auto &[slug, s] : scoredBySlug)
+        scored.push_back(std::move(s));
+    return ctx.finish(std::move(scored));
+}
+
+} // namespace cfl::search::detail

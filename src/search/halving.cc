@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Successive halving over the candidate grid.
+ *
+ * Rung r scores the surviving candidates on a prefix of the workload
+ * list (1, 2, 4, ... workloads) — sampled by default, since screening
+ * only needs rank order — and keeps the top ceil(n/eta). Because the
+ * evaluator memoizes through the result cache, the next rung's longer
+ * prefix re-pays nothing for the workloads already scored; only the
+ * prefix growth and the shrinking survivor set cost fresh simulation.
+ * The survivors of the last rung are re-scored exactly on the full
+ * workload set, which is the ranking the report and Pareto front are
+ * built from. That final round always completes even when the request
+ * budget ran out mid-screening, so a budgeted run still ends with an
+ * exact, usable answer.
+ */
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "search/strategies.hh"
+
+namespace cfl::search::detail
+{
+
+SearchReport
+runHalving(StrategyContext &ctx)
+{
+    const SearchOptions &opts = ctx.opts;
+    std::vector<Candidate> survivors = ctx.candidates;
+    std::size_t rungWorkloads = 1;
+
+    while (survivors.size() > opts.finalists && !ctx.budgetExhausted()) {
+        const std::uint64_t thisRound = ctx.round;
+        const std::vector<double> scores = ctx.scoreRound(
+            survivors, rungWorkloads, opts.sampledScreening);
+
+        std::vector<std::size_t> order(survivors.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b])
+                          return scores[a] > scores[b];
+                      const SearchCost ca = candidateCost(survivors[a]);
+                      const SearchCost cb = candidateCost(survivors[b]);
+                      if (ca.kiloBytes != cb.kiloBytes)
+                          return ca.kiloBytes < cb.kiloBytes;
+                      return survivors[a].slug() < survivors[b].slug();
+                  });
+
+        const std::size_t keep =
+            std::max<std::size_t>(opts.finalists,
+                                  (survivors.size() + opts.eta - 1) /
+                                      opts.eta);
+        cfl_assert(keep < survivors.size(),
+                   "halving rung failed to shrink (%zu survivors)",
+                   survivors.size());
+
+        std::vector<bool> kept(survivors.size(), false);
+        for (std::size_t r = 0; r < keep; ++r)
+            kept[order[r]] = true;
+        for (std::size_t i = 0; i < survivors.size(); ++i)
+            ctx.emitDecision(thisRound, survivors[i],
+                             kept[i] ? "keep" : "drop", scores[i],
+                             candidateCost(survivors[i]));
+
+        std::vector<Candidate> next;
+        next.reserve(keep);
+        for (std::size_t r = 0; r < keep; ++r)
+            next.push_back(survivors[order[r]]);
+        survivors = std::move(next);
+        rungWorkloads =
+            std::min(rungWorkloads * 2, opts.workloads.size());
+    }
+
+    // Exact finals over the full workload set.
+    const std::uint64_t finalRound = ctx.round;
+    const std::vector<double> finalScores = ctx.scoreRound(
+        survivors, opts.workloads.size(), /*sampled=*/false);
+
+    std::vector<ScoredCandidate> scored;
+    scored.reserve(survivors.size());
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+        ScoredCandidate s{survivors[i], finalScores[i],
+                          candidateCost(survivors[i])};
+        ctx.emitDecision(finalRound, s.candidate, "final", s.score,
+                         s.cost);
+        scored.push_back(std::move(s));
+    }
+    return ctx.finish(std::move(scored));
+}
+
+} // namespace cfl::search::detail

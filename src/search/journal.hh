@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Append-only search journal with lossless resume.
+ *
+ * Every strategy is a deterministic function of (seed, space, scale,
+ * budget, evaluated outcomes), and outcomes themselves are
+ * bit-deterministic (and memoized in the result cache), so the journal
+ * does not need to be a checkpoint the search *loads state from* — it
+ * is a transcript the search *re-derives and verifies*. Resume simply
+ * re-runs the strategy: emit() compares each regenerated line against
+ * the loaded prefix byte-for-byte and only appends past it. Points
+ * already evaluated before the kill hit the result cache, so the
+ * replay costs no simulation.
+ *
+ * A mismatch between a regenerated line and the journal (different
+ * CLI arguments, a different binary, or a mid-file corruption the
+ * tolerant loader skipped over) is deterministic corruption: the
+ * journal cannot have been produced by this search. That exits with
+ * kSearchExitJournalConflict, the same "corrupt input" exit-code
+ * convention confluence_sweep uses.
+ *
+ * Each append passes the fault checkpoint "search.journal.append", so
+ * a fault plan can kill the search deterministically after N records —
+ * CI's resume-after-SIGKILL gate is built on exactly that.
+ */
+
+#ifndef CFL_SEARCH_JOURNAL_HH
+#define CFL_SEARCH_JOURNAL_HH
+
+#include <string>
+#include <vector>
+
+#include "sweepio/search_codec.hh"
+
+namespace cfl::search
+{
+
+/** Exit code of a journal/replay mismatch (deterministic corruption —
+ *  retrying cannot help), matching the sweep tool's convention. */
+constexpr int kSearchExitJournalConflict = 3;
+
+class SearchJournal
+{
+  public:
+    /**
+     * Open the journal at @p path. With @p resume the existing
+     * records (if any) become the verification prefix; without it a
+     * non-empty journal is refused via fatal() — clobbering a previous
+     * search by accident must not be silent.
+     */
+    SearchJournal(std::string path, bool resume);
+    ~SearchJournal();
+
+    SearchJournal(const SearchJournal &) = delete;
+    SearchJournal &operator=(const SearchJournal &) = delete;
+
+    /**
+     * Record one search step. Within the loaded prefix the encoded
+     * record must equal the stored line byte-for-byte (else stderr +
+     * exit kSearchExitJournalConflict); past it the line is appended
+     * and fsync-free flushed (an append that cannot be written is
+     * fatal — the journal is the durability artifact).
+     */
+    void emit(const sweepio::SearchRecord &record);
+
+    /** Records loaded from an existing journal at open. */
+    const std::vector<sweepio::SearchRecord> &loaded() const
+    {
+        return loaded_;
+    }
+
+    /** How many emitted records were satisfied by the loaded prefix
+     *  (i.e. replayed rather than appended). */
+    std::size_t replayed() const { return replayed_; }
+
+    /** Records appended (emitted past the loaded prefix). */
+    std::size_t appended() const { return appended_; }
+
+    /**
+     * Called once the search completes: leftover loaded records beyond
+     * the replay cursor mean the journal belongs to a *longer* run
+     * (e.g. a resume with a smaller budget) — also a conflict.
+     */
+    void finish();
+
+  private:
+    std::string path_;
+    std::vector<sweepio::SearchRecord> loaded_;
+    std::vector<std::string> loadedLines_;
+    std::size_t cursor_ = 0;
+    std::size_t replayed_ = 0;
+    std::size_t appended_ = 0;
+    int fd_ = -1; ///< append descriptor, opened on first append
+
+    [[noreturn]] void conflict(const std::string &why) const;
+};
+
+} // namespace cfl::search
+
+#endif // CFL_SEARCH_JOURNAL_HH

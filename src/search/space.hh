@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Declarative design-space grammar for the adaptive search.
+ *
+ * A space is a set of frontend kinds crossed with geometry axes that
+ * map onto DesignOverlay fields:
+ *
+ *   kinds=fdp,two_level_shift,confluence;btb_entries=512,1024,2048;
+ *   l2_entries=8192,16384;shift_history=16384,32768
+ *
+ * Entries are ';'-separated `name=v1,v2,...` lists; `kinds` is
+ * mandatory and every other name must come from the fixed axis
+ * vocabulary below. Axes irrelevant to a kind (air_bundles for an FDP
+ * point, say) are masked to "unset" for that kind, so the enumeration
+ * never produces two candidates whose simulated configuration is
+ * identical but whose overlays (and cache keys) differ. Candidates
+ * whose geometry a structure would reject (non-power-of-two sets,
+ * entries not divisible by ways) are filtered deterministically.
+ *
+ * Axis vocabulary, in canonical order:
+ *
+ *   btb_entries, btb_ways        conventional BTB (baseline, fdp,
+ *                                ideal_btb_shift)
+ *   l2_entries                   two-level backing BTB
+ *   air_bundles, air_branch_entries, air_overflow_entries
+ *                                AirBTB (confluence)
+ *   shift_history, shift_stream_depth
+ *                                SHIFT (every usesShift kind)
+ */
+
+#ifndef CFL_SEARCH_SPACE_HH
+#define CFL_SEARCH_SPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace cfl::search
+{
+
+/** One geometry axis: a vocabulary name plus candidate values. */
+struct Axis
+{
+    std::string name;
+    std::vector<std::uint64_t> values;
+};
+
+/** A parsed design space. */
+struct DesignSpace
+{
+    std::vector<FrontendKind> kinds;
+    std::vector<Axis> axes; ///< in canonical vocabulary order
+
+    /** Parse the grammar above; fatal() on malformed specs. */
+    static DesignSpace parse(const std::string &spec);
+
+    /** Canonical spec text: parse(encode()) == *this, and equal spaces
+     *  encode to equal bytes (the journal header pins this). */
+    std::string encode() const;
+};
+
+/** The axis vocabulary in canonical order. */
+const std::vector<std::string> &axisVocabulary();
+
+/** Whether @p axis affects a structure @p kind instantiates. */
+bool axisRelevant(const std::string &axis, FrontendKind kind);
+
+/** One design candidate: a kind plus a kind-masked overlay. */
+struct Candidate
+{
+    FrontendKind kind = FrontendKind::Baseline;
+    DesignOverlay overlay = {};
+
+    /** Stable id: "<kind-slug>" for the Table-1 geometry, else
+     *  "<kind-slug>+axis=value+..." in canonical axis order. */
+    std::string slug() const;
+
+    bool operator==(const Candidate &) const = default;
+};
+
+/** Parse a slug produced by Candidate::slug(); fatal() on anything
+ *  else (unknown kind, unknown axis, zero value). */
+Candidate candidateFromSlug(const std::string &slug);
+
+/** Overlay field for @p axis; fatal() on an unknown name. */
+std::uint64_t &overlayField(DesignOverlay &overlay,
+                            const std::string &axis);
+
+/**
+ * All distinct, structurally valid candidates of @p space: kinds in
+ * spec order, axis values in spec order (kind-major cross product),
+ * masked, deduplicated, and geometry-filtered. Deterministic.
+ */
+std::vector<Candidate> enumerateCandidates(const DesignSpace &space);
+
+/** Whether the overlaid configuration passes every structural
+ *  constraint @p kind's build would assert on. */
+bool validCandidate(const Candidate &candidate);
+
+} // namespace cfl::search
+
+#endif // CFL_SEARCH_SPACE_HH

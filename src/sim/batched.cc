@@ -119,6 +119,7 @@ runBatchedSweep(const std::vector<SweepPoint> &points,
 
             SystemConfig cfg = config;
             cfg.numCores = p.scale.timingCores;
+            p.overlay.applyTo(cfg);
             Cmp cmp(p.kind, p.workload, cfg, seed_base);
             for (unsigned c = 0; c < cmp.numCores(); ++c) {
                 if (c < traces.size() && traces[c] != nullptr)

@@ -122,6 +122,38 @@ withBaseline(std::vector<FrontendKind> kinds)
     return kinds;
 }
 
+bool
+DesignOverlay::enabled() const
+{
+    return *this != DesignOverlay{};
+}
+
+void
+DesignOverlay::applyTo(SystemConfig &config) const
+{
+    if (btbEntries != 0) {
+        config.baselineBtb.entries = btbEntries;
+        config.idealBtb.entries = btbEntries;
+    }
+    if (btbWays != 0) {
+        config.baselineBtb.ways = static_cast<unsigned>(btbWays);
+        config.idealBtb.ways = static_cast<unsigned>(btbWays);
+    }
+    if (l2Entries != 0)
+        config.twoLevel.l2Entries = l2Entries;
+    if (airBundles != 0)
+        config.air.bundles = airBundles;
+    if (airBranchEntries != 0)
+        config.air.branchEntries = static_cast<unsigned>(airBranchEntries);
+    if (airOverflowEntries != 0)
+        config.air.overflowEntries =
+            static_cast<unsigned>(airOverflowEntries);
+    if (shiftHistoryEntries != 0)
+        config.shift.historyEntries = shiftHistoryEntries;
+    if (shiftStreamDepth != 0)
+        config.shift.streamDepth = static_cast<unsigned>(shiftStreamDepth);
+}
+
 std::uint64_t
 sweepPointSeed(FrontendKind kind, WorkloadId workload)
 {
@@ -229,6 +261,7 @@ evaluateSweepPoint(const SweepPoint &point, const SystemConfig &config,
 {
     SystemConfig cfg = config;
     cfg.numCores = point.scale.timingCores;
+    point.overlay.applyTo(cfg);
     Cmp cmp(point.kind, point.workload, cfg, seed_base);
     return runSweepPointOn(cmp, point);
 }

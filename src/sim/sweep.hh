@@ -128,6 +128,42 @@ sweepMap2(SweepEngine &engine, std::size_t rows, std::size_t cols, Fn &&fn)
     return grid;
 }
 
+/**
+ * Structure-geometry overrides applied on top of the Table-1
+ * SystemConfig for one sweep point. A zero field means "leave the
+ * Table-1 default alone"; an all-zero overlay is the identity and is
+ * omitted from the point's canonical encoding, so every pre-overlay
+ * point keeps its byte encoding, digest, and cache key.
+ *
+ * The overlay is part of the point identity (codec, digests) but NOT
+ * of sweepPointSeed: two geometry variants of the same (kind,
+ * workload) replay the identical instruction stream, which is exactly
+ * what a design-space search wants to compare (and what lets the
+ * batched runner group them onto one trace).
+ */
+struct DesignOverlay
+{
+    std::uint64_t btbEntries = 0;   ///< conventional/ideal BTB entries
+    std::uint64_t btbWays = 0;      ///< conventional/ideal BTB ways
+    std::uint64_t l2Entries = 0;    ///< two-level backing BTB entries
+    std::uint64_t airBundles = 0;   ///< AirBTB bundle count
+    std::uint64_t airBranchEntries = 0;   ///< AirBTB B (1..8)
+    std::uint64_t airOverflowEntries = 0; ///< AirBTB overflow buffer
+    std::uint64_t shiftHistoryEntries = 0; ///< SHIFT history length
+    std::uint64_t shiftStreamDepth = 0;    ///< SHIFT lookahead depth
+
+    /** Any field set? (false = identity, omitted from encodings). */
+    bool enabled() const;
+
+    /** Overwrite the targeted SystemConfig fields with the set ones.
+     *  btbEntries/btbWays retarget both the baseline and the ideal
+     *  conventional BTB — a point's kind instantiates at most one of
+     *  the two, and the search masks axes to relevant kinds. */
+    void applyTo(SystemConfig &config) const;
+
+    bool operator==(const DesignOverlay &) const = default;
+};
+
 /** One experiment point of a timing sweep. */
 struct SweepPoint
 {
@@ -140,6 +176,8 @@ struct SweepPoint
      *  identity (codec, digests): a sampled point and its exact twin
      *  are different points with different results. */
     SamplingSpec sampling = {};
+    /** Identity overlay by default: the Table-1 configuration. */
+    DesignOverlay overlay = {};
 };
 
 /**

@@ -12,6 +12,23 @@
 namespace cfl::sweepio
 {
 
+std::uint64_t
+doubleBits(double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+double
+doubleFromBits(std::uint64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
 namespace
 {
 
@@ -48,27 +65,21 @@ appendPoint(std::ostringstream &out, const SweepPoint &point)
             << ",\"period\":" << point.sampling.periodInsts
             << ",\"rng_stream\":" << point.sampling.rngStream << "}";
     }
+    // Same optional-block pattern: identity overlays (every point that
+    // existed before the design-space search) keep their byte encoding,
+    // digests, and cache keys.
+    if (point.overlay.enabled()) {
+        const DesignOverlay &o = point.overlay;
+        out << ",\"overlay\":{\"btb_entries\":" << o.btbEntries
+            << ",\"btb_ways\":" << o.btbWays
+            << ",\"l2_entries\":" << o.l2Entries
+            << ",\"air_bundles\":" << o.airBundles
+            << ",\"air_branch_entries\":" << o.airBranchEntries
+            << ",\"air_overflow_entries\":" << o.airOverflowEntries
+            << ",\"shift_history\":" << o.shiftHistoryEntries
+            << ",\"shift_stream_depth\":" << o.shiftStreamDepth << "}";
+    }
     out << "}";
-}
-
-/** Doubles cross the codec as IEEE-754 bit patterns (decimal u64), the
- *  same trick the regression history uses: a decimal rendering would
- *  round, and round-trips must be bit-identical. */
-std::uint64_t
-doubleBits(double value)
-{
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(value));
-    std::memcpy(&bits, &value, sizeof(bits));
-    return bits;
-}
-
-double
-bitsToDouble(std::uint64_t bits)
-{
-    double value;
-    std::memcpy(&value, &bits, sizeof(value));
-    return value;
 }
 
 void
@@ -175,18 +186,47 @@ parsePoint(Parser &p)
     p.expect(',');
     p.namedKey("scale");
     point.scale = parseScale(p);
-    if (p.accept(',')) {
-        p.namedKey("sampling");
-        p.expect('{');
-        point.sampling.intervalInsts = p.namedNumber("interval");
-        p.expect(',');
-        point.sampling.detailedWarmupInsts =
-            p.namedNumber("detailed_warmup");
-        p.expect(',');
-        point.sampling.periodInsts = p.namedNumber("period");
-        p.expect(',');
-        point.sampling.rngStream = p.namedNumber("rng_stream");
-        p.expect('}');
+    // Optional trailing blocks, in fixed emission order: sampling,
+    // then overlay. Either may be absent independently.
+    bool sawSampling = false;
+    bool sawOverlay = false;
+    while (p.accept(',')) {
+        const std::string block = p.key();
+        if (block == "sampling" && !sawSampling && !sawOverlay) {
+            sawSampling = true;
+            p.expect('{');
+            point.sampling.intervalInsts = p.namedNumber("interval");
+            p.expect(',');
+            point.sampling.detailedWarmupInsts =
+                p.namedNumber("detailed_warmup");
+            p.expect(',');
+            point.sampling.periodInsts = p.namedNumber("period");
+            p.expect(',');
+            point.sampling.rngStream = p.namedNumber("rng_stream");
+            p.expect('}');
+        } else if (block == "overlay" && !sawOverlay) {
+            sawOverlay = true;
+            DesignOverlay &o = point.overlay;
+            p.expect('{');
+            o.btbEntries = p.namedNumber("btb_entries");
+            p.expect(',');
+            o.btbWays = p.namedNumber("btb_ways");
+            p.expect(',');
+            o.l2Entries = p.namedNumber("l2_entries");
+            p.expect(',');
+            o.airBundles = p.namedNumber("air_bundles");
+            p.expect(',');
+            o.airBranchEntries = p.namedNumber("air_branch_entries");
+            p.expect(',');
+            o.airOverflowEntries = p.namedNumber("air_overflow_entries");
+            p.expect(',');
+            o.shiftHistoryEntries = p.namedNumber("shift_history");
+            p.expect(',');
+            o.shiftStreamDepth = p.namedNumber("shift_stream_depth");
+            p.expect('}');
+        } else {
+            p.error("unexpected point block \"" + block + "\"");
+        }
     }
     p.expect('}');
     return point;
@@ -200,10 +240,10 @@ parseEstimate(Parser &p)
     est.count = p.namedNumber("n");
     p.expect(',');
     p.namedKey("mean");
-    est.mean = bitsToDouble(p.number());
+    est.mean = doubleFromBits(p.number());
     p.expect(',');
     p.namedKey("m2");
-    est.m2 = bitsToDouble(p.number());
+    est.m2 = doubleFromBits(p.number());
     p.expect('}');
     return est;
 }

@@ -26,6 +26,16 @@
 namespace cfl::sweepio
 {
 
+/**
+ * Doubles cross the sweepio codecs as IEEE-754 bit patterns rendered
+ * as decimal u64 — the same trick the regression history uses: a
+ * decimal rendering of the value would round, and round-trips must be
+ * bit-identical. Shared by every dialect that carries a double
+ * (sampling estimates, search decisions).
+ */
+std::uint64_t doubleBits(double value);
+double doubleFromBits(std::uint64_t bits);
+
 /** One spec line ({"kind":...,"workload":...,"scale":{...}}). */
 std::string encodePoint(const SweepPoint &point);
 

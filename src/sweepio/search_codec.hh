@@ -1,0 +1,94 @@
+/**
+ * @file
+ * JSONL dialect of the adaptive-search journal (search.jsonl).
+ *
+ * A search run appends one SearchRecord per line, recording every
+ * (round, candidate, decision) the driver takes. The journal is the
+ * search's durability artifact: because every strategy is a pure
+ * function of (seed, space, evaluated outcomes) and outcomes are
+ * bit-deterministic, a killed search resumes by re-running the
+ * strategy and byte-verifying each regenerated line against the
+ * journal prefix, appending only past it (src/search/journal.hh).
+ * That is also why no record carries cache-dependent state (hit
+ * counters, timestamps): a record must encode identically whether its
+ * evaluation was fresh or served from the result cache.
+ *
+ * Record types, with fixed field order per type:
+ *
+ *   {"type":"header","strategy":...,"seed":N,"space":"...",
+ *    "scale":"...","budget":N,"code_version":"..."}
+ *   {"type":"round","round":N}
+ *   {"type":"eval","round":N,"candidate":"...","key":"<digest>"}
+ *   {"type":"decision","round":N,"candidate":"...","action":"...",
+ *    "score_bits":N,"cost_kb_bits":N,"cost_mm2_bits":N}
+ *   {"type":"done","rounds":N,"candidate":"<best>","score_bits":N,
+ *    "cost_kb_bits":N,"cost_mm2_bits":N}
+ *
+ * Doubles travel as IEEE-754 bit patterns (sweepio::doubleBits), so a
+ * round trip — and therefore resume verification — is bit-identical.
+ */
+
+#ifndef CFL_SWEEPIO_SEARCH_CODEC_HH
+#define CFL_SWEEPIO_SEARCH_CODEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfl::sweepio
+{
+
+/** One journal line; unused fields stay at their defaults. */
+struct SearchRecord
+{
+    std::string type; ///< "header", "round", "eval", "decision", "done"
+
+    // header
+    std::string strategy;
+    std::uint64_t seed = 0;
+    std::string space;       ///< canonical axis-grammar text
+    std::string scaleName;   ///< "quick" / "default" / "full"
+    std::uint64_t budget = 0;
+    std::string codeVersion;
+
+    // round / eval / decision ("rounds" total for done)
+    std::uint64_t round = 0;
+    std::string candidate;   ///< candidate slug (best slug for done)
+
+    // eval
+    std::string pointKey;    ///< result-cache digest of the point
+
+    // decision
+    std::string action;      ///< "screen"|"keep"|"drop"|"start"|"move"|
+                             ///< "stay"|"accept"|"final"|"front"
+    std::uint64_t scoreBits = 0;   ///< geomean-speedup bits
+    std::uint64_t costKbBits = 0;  ///< dedicated-storage-KB bits
+    std::uint64_t costMm2Bits = 0; ///< dedicated-area-mm² bits
+
+    bool operator==(const SearchRecord &) const = default;
+};
+
+/** One journal line (no trailing newline). */
+std::string encodeSearchRecord(const SearchRecord &record);
+
+/** Parse one journal line; fatal() on malformed input. */
+SearchRecord decodeSearchRecord(const std::string &line);
+
+/** decodeSearchRecord that reports malformed input (false) instead of
+ *  fatal()ing — for loaders skipping a torn trailing line. */
+bool tryDecodeSearchRecord(const std::string &line, SearchRecord *out);
+
+/**
+ * Load a journal file. A missing file is an empty journal. Undecodable
+ * lines (torn tail of a killed append) are skipped with a warning;
+ * resume's byte-verification catches any mid-file damage the skip
+ * would otherwise hide. @p raw_lines, when non-null, receives the raw
+ * text of each *decoded* line, index-aligned with the result.
+ */
+std::vector<SearchRecord>
+readSearchJournal(const std::string &path,
+                  std::vector<std::string> *raw_lines = nullptr);
+
+} // namespace cfl::sweepio
+
+#endif // CFL_SWEEPIO_SEARCH_CODEC_HH

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "area/area_model.hh"
+#include "search/pareto.hh"
+#include "search/space.hh"
 #include "sim/presets.hh"
 
 using namespace cfl;
@@ -44,6 +46,132 @@ TEST(AreaModel, MonotoneInCapacity)
         prev = mm2;
     }
     EXPECT_EQ(AreaModel::mm2ForKb(0.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Golden pins for every BTB/SHIFT geometry the Pareto search sweeps.
+// Storage is a closed-form bit count, so the values are exact dyadic
+// rationals — any drift here silently re-prices the whole Pareto
+// frontier, which is why these are EXPECT_DOUBLE_EQ, not EXPECT_NEAR.
+// ---------------------------------------------------------------------------
+
+TEST(AreaModel, GoldenStorageForSearchedBtbGeometries)
+{
+    // Conventional BTB axis (baseline/fdp/ideal_btb_shift kinds),
+    // Table-1 victim buffer attached.
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(256, 4, 64),
+                     3.0546875);
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(512, 4, 64),
+                     5.3984375);
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(1024, 4, 64),
+                     10.0234375);
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(2048, 4, 64),
+                     19.1484375);
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(4096, 4, 64),
+                     37.1484375);
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(16384, 4, 64),
+                     142.6484375);
+
+    // Two-level BTB levels carry no victim buffer.
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(1024, 4, 0), 9.375);
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(4096, 4, 0), 36.5);
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(8192, 4, 0), 72.0);
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(16384, 4, 0), 142.0);
+    EXPECT_DOUBLE_EQ(AreaModel::conventionalBtbKb(32768, 4, 0), 280.0);
+
+    // AirBTB bundle/branch-entry grid (confluence kind).
+    EXPECT_DOUBLE_EQ(AreaModel::airBtbKb(128, 4, 2, 32), 2.27734375);
+    EXPECT_DOUBLE_EQ(AreaModel::airBtbKb(128, 4, 3, 32), 2.83984375);
+    EXPECT_DOUBLE_EQ(AreaModel::airBtbKb(256, 4, 2, 32), 4.21484375);
+    EXPECT_DOUBLE_EQ(AreaModel::airBtbKb(256, 4, 3, 32), 5.33984375);
+    EXPECT_DOUBLE_EQ(AreaModel::airBtbKb(512, 4, 2, 32), 8.05859375);
+    EXPECT_DOUBLE_EQ(AreaModel::airBtbKb(512, 4, 3, 32), 10.30859375);
+    EXPECT_DOUBLE_EQ(AreaModel::airBtbKb(1024, 4, 2, 32), 15.68359375);
+    EXPECT_DOUBLE_EQ(AreaModel::airBtbKb(1024, 4, 3, 32), 20.18359375);
+
+    // SHIFT: the index is CMP-shared area amortized over the paper's
+    // 16 cores; the history buffer lives in the LLC, never in KB/mm².
+    EXPECT_DOUBLE_EQ(AreaModel::shiftPerCoreMm2(16), 0.96 / 16.0);
+}
+
+TEST(AreaModel, GoldenCandidateCostsForParetoAxes)
+{
+    // End-to-end pins through candidateCost (overlay -> structures ->
+    // summary): the exact numbers the Pareto CSV/JSON artifacts carry
+    // for the Table-1 designs and the grid's extreme points.
+    const auto cost = [](const char *slug) {
+        return search::candidateCost(search::candidateFromSlug(slug));
+    };
+    EXPECT_DOUBLE_EQ(cost("baseline").kiloBytes, 10.0234375);
+    EXPECT_DOUBLE_EQ(cost("fdp").kiloBytes, 10.0234375);
+    EXPECT_DOUBLE_EQ(cost("two_level_shift").kiloBytes, 151.375);
+    EXPECT_DOUBLE_EQ(cost("confluence").kiloBytes, 10.30859375);
+    EXPECT_DOUBLE_EQ(cost("ideal_btb_shift").kiloBytes, 142.0);
+    EXPECT_DOUBLE_EQ(cost("fdp+btb_entries=256").kiloBytes, 3.0546875);
+    EXPECT_DOUBLE_EQ(cost("fdp+btb_entries=4096").kiloBytes,
+                     37.1484375);
+    EXPECT_DOUBLE_EQ(cost("two_level_shift+l2_entries=32768").kiloBytes,
+                     289.375);
+    EXPECT_DOUBLE_EQ(
+        cost("confluence+air_bundles=128+air_branch_entries=2")
+            .kiloBytes,
+        2.27734375);
+    EXPECT_DOUBLE_EQ(
+        cost("confluence+air_bundles=1024+air_branch_entries=3")
+            .kiloBytes,
+        20.18359375);
+    // mm² pins for the two headline designs.
+    EXPECT_DOUBLE_EQ(cost("baseline").mm2, 0.080818692729782024);
+    EXPECT_DOUBLE_EQ(cost("confluence").mm2, 0.14270362918627094);
+}
+
+TEST(AreaModel, StorageIsMonotoneInEveryCapacityAxis)
+{
+    // More entries can never cost less storage — the property that
+    // makes "cheapest point on the front" meaningful.
+    double prev = 0.0;
+    for (const unsigned e : {256, 512, 1024, 2048, 4096, 16384}) {
+        const double kb = AreaModel::conventionalBtbKb(e, 4, 64);
+        EXPECT_GT(kb, prev) << e;
+        prev = kb;
+    }
+    prev = 0.0;
+    for (const unsigned b : {128, 256, 512, 1024}) {
+        const double kb = AreaModel::airBtbKb(b, 4, 2, 32);
+        EXPECT_GT(kb, prev) << b;
+        EXPECT_GT(AreaModel::airBtbKb(b, 4, 3, 32), kb) << b;
+        prev = kb;
+    }
+    // And through the candidate-cost lens: growing one axis never
+    // shrinks the candidate's storage.
+    prev = 0.0;
+    for (const char *slug :
+         {"two_level_shift+l2_entries=4096",
+          "two_level_shift+l2_entries=8192", "two_level_shift",
+          "two_level_shift+l2_entries=32768"}) {
+        const double kb =
+            search::candidateCost(search::candidateFromSlug(slug))
+                .kiloBytes;
+        EXPECT_GT(kb, prev) << slug;
+        prev = kb;
+    }
+}
+
+TEST(AreaModel, SummarizeStructuresSumsEveryColumn)
+{
+    const std::vector<StructureArea> structures = {
+        {"a", 1.5, 0.25, 0.0},
+        {"b", 2.25, 0.5, 100.0},
+        {"c (llc)", 0.0, 0.0, 28.0},
+    };
+    const StorageSummary sum = summarizeStructures(structures);
+    EXPECT_DOUBLE_EQ(sum.dedicatedKiloBytes, 3.75);
+    EXPECT_DOUBLE_EQ(sum.dedicatedMm2, 0.75);
+    EXPECT_DOUBLE_EQ(sum.llcKiloBytes, 128.0);
+    const StorageSummary empty = summarizeStructures({});
+    EXPECT_DOUBLE_EQ(empty.dedicatedKiloBytes, 0.0);
+    EXPECT_DOUBLE_EQ(empty.dedicatedMm2, 0.0);
+    EXPECT_DOUBLE_EQ(empty.llcKiloBytes, 0.0);
 }
 
 TEST(RelativeArea, MatchesFigure6Axes)

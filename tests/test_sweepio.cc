@@ -20,6 +20,7 @@
 #include "sweepio/digest.hh"
 #include "sweepio/json.hh"
 #include "sweepio/queue_codec.hh"
+#include "sweepio/search_codec.hh"
 #include "sweepio/shard.hh"
 
 using namespace cfl;
@@ -130,6 +131,47 @@ TEST(SweepioCodec, PointRoundTripsEveryCoordinate)
             expectPointEq(point, back);
         }
     }
+}
+
+TEST(SweepioCodec, DesignOverlayRoundTripsEveryField)
+{
+    SweepPoint point{FrontendKind::Confluence, WorkloadId::OltpDb2,
+                     quickScale()};
+    point.overlay.btbEntries = 1;
+    point.overlay.btbWays = 2;
+    point.overlay.l2Entries = 3;
+    point.overlay.airBundles = 4;
+    point.overlay.airBranchEntries = 5;
+    point.overlay.airOverflowEntries = 6;
+    point.overlay.shiftHistoryEntries = 7;
+    point.overlay.shiftStreamDepth = 8;
+
+    const SweepPoint back = decodePoint(encodePoint(point));
+    expectPointEq(point, back);
+    EXPECT_EQ(back.overlay, point.overlay);
+    EXPECT_TRUE(back.overlay.enabled());
+    // Stable bytes: re-encoding reproduces the line.
+    EXPECT_EQ(encodePoint(back), encodePoint(point));
+}
+
+TEST(SweepioCodec, IdentityOverlayKeepsPreOverlayEncoding)
+{
+    // Every point that existed before the design-space search carries
+    // the identity overlay, which must be invisible in the encoding —
+    // otherwise existing digests, cache keys, and golden files would
+    // all shift.
+    const SweepPoint point{FrontendKind::Baseline, WorkloadId::DssQry,
+                           quickScale()};
+    EXPECT_FALSE(point.overlay.enabled());
+    const std::string enc = encodePoint(point);
+    EXPECT_EQ(enc.find("overlay"), std::string::npos);
+    EXPECT_FALSE(decodePoint(enc).overlay.enabled());
+
+    // And a partially-set overlay (any nonzero field) is not identity.
+    SweepPoint overlaid = point;
+    overlaid.overlay.l2Entries = 8192;
+    EXPECT_TRUE(overlaid.overlay.enabled());
+    EXPECT_NE(encodePoint(overlaid).find("overlay"), std::string::npos);
 }
 
 TEST(SweepioCodec, SlugsRoundTrip)
@@ -375,6 +417,123 @@ TEST(SweepioQueueCodec, QueueStatusRoundTrips)
 }
 
 // ---------------------------------------------------------------------------
+// The search-journal dialect (search.jsonl)
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+/** One record of every search.jsonl type, fields fully populated. */
+std::vector<SearchRecord>
+sampleSearchRecords()
+{
+    SearchRecord header;
+    header.type = "header";
+    header.strategy = "halving";
+    header.seed = 7;
+    header.space = "kinds=fdp,confluence;btb_entries=512,1024";
+    header.scaleName = "quick";
+    header.budget = 40;
+    header.codeVersion = "v\"1\\a"; // escapes must survive
+
+    SearchRecord round;
+    round.type = "round";
+    round.round = 3;
+
+    SearchRecord eval;
+    eval.type = "eval";
+    eval.round = 3;
+    eval.candidate = "fdp+btb_entries=512";
+    eval.pointKey = std::string(16, 'f');
+
+    SearchRecord decision;
+    decision.type = "decision";
+    decision.round = 3;
+    decision.candidate = "fdp+btb_entries=512";
+    decision.action = "keep";
+    decision.scoreBits = doubleBits(1.0625);
+    decision.costKbBits = doubleBits(9.901);
+    decision.costMm2Bits = doubleBits(0.0801);
+
+    SearchRecord done;
+    done.type = "done";
+    done.round = 5; // total rounds
+    done.candidate = "confluence";
+    done.scoreBits = doubleBits(1.2175843611061371);
+    done.costKbBits = doubleBits(10.2);
+    done.costMm2Bits = doubleBits(0.08);
+
+    return {header, round, eval, decision, done};
+}
+
+} // namespace
+
+TEST(SweepioSearchCodec, EveryRecordTypeRoundTripsBitIdentically)
+{
+    for (const SearchRecord &record : sampleSearchRecords()) {
+        const std::string line = encodeSearchRecord(record);
+        const SearchRecord back = decodeSearchRecord(line);
+        EXPECT_EQ(back, record) << line;
+        // Stable bytes: resume's byte-verification depends on this.
+        EXPECT_EQ(encodeSearchRecord(back), line);
+    }
+}
+
+TEST(SweepioSearchCodec, MalformedRecordsAreRejected)
+{
+    SearchRecord out;
+    EXPECT_FALSE(tryDecodeSearchRecord("", &out));
+    EXPECT_FALSE(tryDecodeSearchRecord("{}", &out));
+    EXPECT_FALSE(
+        tryDecodeSearchRecord("{\"type\":\"no_such_type\"}", &out));
+    // A valid record with trailing garbage is corruption, not a record.
+    const std::string good =
+        encodeSearchRecord(sampleSearchRecords()[1]);
+    EXPECT_FALSE(tryDecodeSearchRecord(good + "x", &out));
+    EXPECT_TRUE(tryDecodeSearchRecord(good, &out));
+}
+
+TEST(SweepioSearchCodec, JournalLoaderSkipsTornTailAtEveryOffset)
+{
+    const std::vector<SearchRecord> records = sampleSearchRecords();
+    const std::string good = encodeSearchRecord(records[0]);
+    const std::string tail = encodeSearchRecord(records[3]);
+    const std::string path = tmpPath("search_journal.jsonl");
+
+    // Missing file = empty journal (a first run with --resume).
+    std::remove(path.c_str());
+    EXPECT_TRUE(readSearchJournal(path).empty());
+
+    for (std::size_t cut = 0; cut < tail.size(); ++cut) {
+        {
+            std::ofstream out(path, std::ios::trunc);
+            out << good << '\n' << tail.substr(0, cut);
+        }
+        std::vector<std::string> raw;
+        const std::vector<SearchRecord> loaded =
+            readSearchJournal(path, &raw);
+        ASSERT_EQ(loaded.size(), 1u) << "offset " << cut;
+        EXPECT_EQ(loaded[0], records[0]);
+        ASSERT_EQ(raw.size(), 1u);
+        EXPECT_EQ(raw[0], good);
+    }
+
+    // The untruncated journal loads both records, raw lines aligned.
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << good << '\n' << tail << '\n';
+    }
+    std::vector<std::string> raw;
+    const std::vector<SearchRecord> loaded =
+        readSearchJournal(path, &raw);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[1], records[3]);
+    ASSERT_EQ(raw.size(), 2u);
+    EXPECT_EQ(raw[1], tail);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Fuzz-style truncation sweep: every strict prefix of every store line
 // must be rejected gracefully, never crash, never parse.
 // ---------------------------------------------------------------------------
@@ -413,7 +572,7 @@ storeLines()
                              1500, 58500});
     status.cache = {12, 34, 1700000000100ull};
 
-    return {
+    std::vector<std::string> lines = {
         encodeCacheEntry({std::string(16, 'a'), outcome}),
         encodeOutcome(outcome),
         encodePoint(outcome.point),
@@ -430,6 +589,15 @@ storeLines()
         "\"geomean_bits\":4607863817060079104,"
         "\"geomean\":\"1.2175843611061371\"}]}",
     };
+    // Every search.jsonl record type, plus an overlaid point (the
+    // encoding the search's cache keys hang off).
+    for (const SearchRecord &record : sampleSearchRecords())
+        lines.push_back(encodeSearchRecord(record));
+    SweepPoint overlaid = outcome.point;
+    overlaid.overlay.airBundles = 256;
+    overlaid.overlay.shiftHistoryEntries = 16384;
+    lines.push_back(encodePoint(overlaid));
+    return lines;
 }
 
 } // namespace
@@ -466,6 +634,9 @@ TEST(SweepioFuzz, EveryTruncationOffsetIsRejectedWithoutCrashing)
             QueueStatusRecord status;
             EXPECT_FALSE(tryDecodeQueueStatus(torn, &status))
                 << "queue status accepted a torn line at offset " << cut;
+            SearchRecord search;
+            EXPECT_FALSE(tryDecodeSearchRecord(torn, &search))
+                << "search record accepted a torn line at offset " << cut;
         }
     }
     // The untruncated lines do parse in their own dialects.
@@ -477,6 +648,9 @@ TEST(SweepioFuzz, EveryTruncationOffsetIsRejectedWithoutCrashing)
     EXPECT_TRUE(tryDecodeTenant(storeLines()[7], &tenant));
     QueueStatusRecord status;
     EXPECT_TRUE(tryDecodeQueueStatus(storeLines()[9], &status));
+    SearchRecord search; // 11..15 are the search.jsonl record types
+    EXPECT_TRUE(tryDecodeSearchRecord(storeLines()[11], &search));
+    EXPECT_EQ(search.type, "header");
 }
 
 TEST(SweepioFuzz, StoreLoadersSkipTruncatedLinesWithAWarning)

@@ -139,15 +139,15 @@ runPoints(const std::string &spec_path, const std::string &shard_spec,
     // later, in --summary or any SweepResult::find caller. Same
     // distinct exit code as the --merge rejection: the input is
     // deterministically corrupt, so a dispatcher must not retry it.
-    std::set<std::pair<std::string, std::string>> unique;
+    // Keyed on the full point encoding: two points may legitimately
+    // share (kind, workload) and differ only in their design overlay.
+    std::set<std::string> unique;
     for (const SweepPoint &p : points) {
-        const auto key = std::make_pair(frontendKindSlug(p.kind),
-                                        workloadSlug(p.workload));
-        if (!unique.insert(key).second) {
+        if (!unique.insert(sweepio::encodePoint(p)).second) {
             std::fprintf(stderr,
-                         "error: duplicate point (%s, %s) in %s — two "
+                         "error: duplicate point %s in %s — two "
                          "specs concatenated?\n",
-                         key.first.c_str(), key.second.c_str(),
+                         sweepio::encodePoint(p).c_str(),
                          spec_path.c_str());
             return kExitDuplicatePoint;
         }
@@ -204,23 +204,23 @@ mergeResults(const std::vector<std::string> &inputs,
 
     SweepResult merged;
     merged.points.reserve(total_points);
-    std::set<std::pair<std::string, std::string>> seen;
+    // Keyed on the full point encoding — overlay variants of one
+    // (kind, workload) are distinct points, not duplicates.
+    std::set<std::string> seen;
     for (std::size_t i = 0; i < inputs.size(); ++i) {
         const std::string &path = inputs[i];
         SweepResult &shard = shards[i];
         for (const SweepOutcome &o : shard.points) {
-            const auto key = std::make_pair(frontendKindSlug(o.point.kind),
-                                            workloadSlug(o.point.workload));
-            if (!seen.insert(key).second) {
+            if (!seen.insert(sweepio::encodePoint(o.point)).second) {
                 // Distinct, documented exit code: a duplicate point
                 // means the shard *set* is corrupt (a shard merged
                 // twice), which no amount of retrying on another
                 // worker will fix — dispatchers must be able to tell
                 // this apart from an infrastructure failure (exit 1).
                 std::fprintf(stderr,
-                             "error: duplicate point (%s, %s) in %s — "
+                             "error: duplicate point %s in %s — "
                              "was a shard merged twice?\n",
-                             key.first.c_str(), key.second.c_str(),
+                             sweepio::encodePoint(o.point).c_str(),
                              path.c_str());
                 return kExitDuplicatePoint;
             }
@@ -244,15 +244,32 @@ summarize(const std::string &path)
                     workloadSlug(o.point.workload).c_str(),
                     o.metrics.meanIpc(), o.metrics.meanBtbMpki());
 
-    // Geomean speedups need the Baseline normalization points.
+    // Geomean speedups need the Baseline normalization points, and
+    // SweepResult::find resolves points by (kind, workload) alone — so
+    // skip the geomean section when overlay variants make that pair
+    // ambiguous (search-produced results; their scoring lives in
+    // search.jsonl, not here).
     std::vector<FrontendKind> kinds;
     bool have_baseline = false;
+    std::set<std::pair<std::string, std::string>> kindWorkload;
+    bool ambiguous = false;
     for (const SweepOutcome &o : result.points) {
         if (o.point.kind == FrontendKind::Baseline)
             have_baseline = true;
+        if (!kindWorkload
+                 .insert({frontendKindSlug(o.point.kind),
+                          workloadSlug(o.point.workload)})
+                 .second)
+            ambiguous = true;
         if (std::find(kinds.begin(), kinds.end(), o.point.kind) ==
             kinds.end())
             kinds.push_back(o.point.kind);
+    }
+    if (ambiguous) {
+        std::fprintf(stderr,
+                     "note: result holds overlay variants sharing "
+                     "(kind, workload); skipping geomean section\n");
+        return 0;
     }
     if (!have_baseline)
         return 0;
